@@ -1,0 +1,25 @@
+"""Shared scaffolding for the experiment benchmarks (E1–E16).
+
+Each ``bench_eNN_*.py`` regenerates one table/figure from DESIGN.md's
+experiment index and prints it through
+:func:`repro.experiments.report.print_experiment`.  Absolute numbers are
+machine-dependent; the *shape* assertions (who wins, monotonicity,
+threshold locations) are encoded as soft checks that print WARN rather than
+fail, since benchmarks are measurements, not tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import TesterConfig
+
+#: The default scale every benchmark runs at unless it sweeps the axis.
+N = 4096
+K = 5
+EPS = 0.3
+TRIALS = 12
+CONFIG = TesterConfig.practical()
+
+
+def check(label: str, condition: bool) -> None:
+    """Soft shape assertion: print PASS/WARN without failing the bench."""
+    print(f"  shape[{label}]: {'PASS' if condition else 'WARN'}")

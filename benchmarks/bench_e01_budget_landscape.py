@@ -1,0 +1,68 @@
+"""E1 (Table 1) — the sample-budget landscape and its crossovers.
+
+Reproduces the Section 1.2 comparison: this paper's upper bound
+(Theorem 1.1) against [ILR12], [CDGR16], the Θ(n) learn-offline baseline,
+and the Theorem 1.2 lower bound, over a grid of (n, k, ε).  The shape the
+paper claims: the new bound decouples n from k, beats both prior testers by
+a factor growing with n, and sits within polylog of the lower bound.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import check
+
+from repro.core.budget import (
+    budget_table_row,
+    cdgr16_budget,
+    ilr12_budget,
+    theorem_lower_bound,
+    theorem_upper_bound,
+)
+from repro.experiments.report import print_experiment
+
+
+GRID_N = [10**3, 10**5, 10**7, 10**9]
+GRID_K = [2, 16, 128]
+EPS = 0.1
+
+
+def test_e01_budget_landscape(benchmark):
+    rows = benchmark(
+        lambda: [budget_table_row(n, k, EPS) for n in GRID_N for k in GRID_K]
+    )
+    print_experiment(
+        "E1: sample-budget landscape (unit-constant theorem formulas), eps=0.1",
+        ["n", "k", "this paper", "lower bnd", "ILR12", "CDGR16", "learn-offline"],
+        [
+            [r["n"], r["k"], r["this_paper_ub"], r["lower_bound"], r["ilr12"],
+             r["cdgr16"], r["learn_offline"]]
+            for r in rows
+        ],
+    )
+
+    # Crossover table: smallest grid n where this paper wins by >= 10x.
+    crossings = []
+    for k in GRID_K:
+        beat_ilr = next(
+            (n for n in GRID_N if ilr12_budget(n, k, EPS) > 10 * theorem_upper_bound(n, k, EPS)),
+            None,
+        )
+        beat_cdgr = next(
+            (n for n in GRID_N if cdgr16_budget(n, k, EPS) > 10 * theorem_upper_bound(n, k, EPS)),
+            None,
+        )
+        crossings.append([k, beat_ilr, beat_cdgr])
+    print_experiment(
+        "E1b: smallest grid n with a 10x win for this paper",
+        ["k", "vs ILR12", "vs CDGR16"],
+        crossings,
+    )
+
+    for k in GRID_K:
+        n = GRID_N[-1]
+        ours = theorem_upper_bound(n, k, EPS)
+        check(f"k={k}: beats ILR12 at n=1e9", ilr12_budget(n, k, EPS) > ours)
+        check(f"k={k}: beats CDGR16 at n=1e9", cdgr16_budget(n, k, EPS) > ours)
+        check(f"k={k}: above the lower bound", ours >= theorem_lower_bound(n, k, EPS))

@@ -1,0 +1,40 @@
+"""E2 (Fig 1) — completeness of Algorithm 1.
+
+Acceptance rate on true k-histograms across k, for two completeness
+families.  Theorem 3.1's guarantee: rate ≥ 2/3 everywhere.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import CONFIG, EPS, N, TRIALS, check
+
+from repro.core.tester import test_histogram
+from repro.experiments import acceptance_probability, make
+from repro.experiments.report import print_experiment
+
+
+def run_grid():
+    rows = []
+    for k in (1, 2, 4, 8, 16):
+        for family in ("staircase", "random-histogram"):
+            est = acceptance_probability(
+                lambda g, family=family, k=k: make(family, N, k, EPS, g),
+                lambda src, k=k: test_histogram(src, k, EPS, config=CONFIG).accept,
+                trials=TRIALS,
+                rng=k,
+            )
+            rows.append([k, family, est.rate, est.ci_low, est.mean_samples])
+    return rows
+
+
+def test_e02_completeness(benchmark):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    print_experiment(
+        f"E2: completeness acceptance rate (n={N}, eps={EPS}, {TRIALS} trials)",
+        ["k", "family", "accept rate", "99% CI low", "samples/trial"],
+        rows,
+    )
+    for k, family, rate, _, _ in rows:
+        check(f"k={k} {family}: rate >= 2/3", rate >= 2 / 3)

@@ -1,0 +1,40 @@
+"""E3 (Fig 2) — soundness of Algorithm 1.
+
+Rejection rate on certified ε-far workloads (paired-perturbation families
+and the Paninski family).  Theorem 3.1's guarantee: rate ≥ 2/3.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import CONFIG, EPS, K, N, TRIALS, check
+
+from repro.core.tester import test_histogram
+from repro.experiments import make, rejection_probability, soundness_workloads
+from repro.experiments.report import print_experiment
+
+
+def run_grid():
+    rows = []
+    for w in soundness_workloads():
+        for eps in (EPS, EPS / 2):
+            est = rejection_probability(
+                lambda g, name=w.name, eps=eps: make(name, N, K, eps, g),
+                lambda src, eps=eps: test_histogram(src, K, eps, config=CONFIG).accept,
+                trials=TRIALS,
+                rng=hash(w.name) % 1000,
+            )
+            rows.append([w.name, eps, est.rate, est.ci_low, est.mean_samples])
+    return rows
+
+
+def test_e03_soundness(benchmark):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    print_experiment(
+        f"E3: soundness rejection rate (n={N}, k={K}, {TRIALS} trials)",
+        ["workload", "eps", "reject rate", "99% CI low", "samples/trial"],
+        rows,
+    )
+    for name, eps, rate, _, _ in rows:
+        check(f"{name}@eps={eps}: rate >= 2/3", rate >= 2 / 3)

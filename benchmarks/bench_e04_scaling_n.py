@@ -1,0 +1,60 @@
+"""E4 (Fig 3) — empirical sample complexity vs the domain size n.
+
+Bisect the budget scale for the smallest 2/3-successful budget at each n
+(fixed k, ε) and chart the measured samples.  Theorem 3.1's first term says
+the growth should be ~√n once n dominates.
+"""
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import CONFIG, check
+
+from repro.core.tester import test_histogram
+from repro.distributions import families
+from repro.experiments import empirical_sample_complexity
+from repro.experiments.report import format_series, print_experiment
+
+K, EPS = 4, 0.3
+GRID_N = [1000, 4000, 16000, 64000]
+
+
+def complexity_at(n: int, rng: int):
+    family = lambda scale: (
+        lambda src: test_histogram(src, K, EPS, config=CONFIG.scaled(scale)).accept
+    )
+    return empirical_sample_complexity(
+        family,
+        complete=lambda g: families.staircase(n, K).to_distribution(),
+        far=lambda g: families.far_from_hk(n, K, EPS, g),
+        trials=9,
+        bisection_steps=5,
+        rng=rng,
+    )
+
+
+def run():
+    return [complexity_at(n, rng=i) for i, n in enumerate(GRID_N)]
+
+
+def test_e04_scaling_n(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    samples = [r.samples for r in results]
+    rows = [
+        [n, r.samples, r.scale, r.samples / math.sqrt(n)]
+        for n, r in zip(GRID_N, results)
+    ]
+    print_experiment(
+        f"E4: empirical sample complexity vs n (k={K}, eps={EPS})",
+        ["n", "samples (2/3 frontier)", "budget scale", "samples/sqrt(n)"],
+        rows,
+    )
+    print(format_series(GRID_N, samples))
+    # Shape: sublinear growth, roughly sqrt-like: a 64x n increase should
+    # cost well under 64x samples (sqrt predicts 8x; allow up to 24x for
+    # the k-term floor and bisection noise).
+    growth = samples[-1] / samples[0]
+    check("growth over 64x n is sublinear (< 24x)", growth < 24)
+    check("complexity increases with n", samples[-1] > samples[0])

@@ -1,0 +1,54 @@
+"""E5 (Fig 4) — empirical sample complexity vs k.
+
+Fixed n and ε, sweeping k.  Theorem 3.1's second term predicts near-linear
+growth in k (polylog factors aside) once k dominates the √n floor.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import CONFIG, check
+
+from repro.core.tester import test_histogram
+from repro.distributions import families
+from repro.experiments import empirical_sample_complexity
+from repro.experiments.report import format_series, print_experiment
+
+N, EPS = 4000, 0.3
+GRID_K = [2, 4, 8, 16]
+
+
+def complexity_at(k: int, rng: int):
+    family = lambda scale: (
+        lambda src: test_histogram(src, k, EPS, config=CONFIG.scaled(scale)).accept
+    )
+    return empirical_sample_complexity(
+        family,
+        complete=lambda g: families.random_histogram(
+            N, k, g, min_width=max(1, N // (8 * k))
+        ).to_distribution(),
+        far=lambda g: families.far_from_hk(N, k, EPS, g),
+        trials=9,
+        bisection_steps=5,
+        rng=rng,
+    )
+
+
+def run():
+    return [complexity_at(k, rng=i) for i, k in enumerate(GRID_K)]
+
+
+def test_e05_scaling_k(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    samples = [r.samples for r in results]
+    rows = [[k, r.samples, r.scale, r.samples / k] for k, r in zip(GRID_K, results)]
+    print_experiment(
+        f"E5: empirical sample complexity vs k (n={N}, eps={EPS})",
+        ["k", "samples (2/3 frontier)", "budget scale", "samples/k"],
+        rows,
+    )
+    print(format_series(GRID_K, samples))
+    check("complexity non-decreasing in k (tail)", samples[-1] >= samples[0])
+    # Near-linear, not quadratic: 8x k should cost well under 64x samples.
+    check("growth over 8x k below quadratic", samples[-1] / samples[0] < 64)

@@ -1,0 +1,58 @@
+"""E6 (Fig 5) — empirical sample complexity vs ε.
+
+Fixed n and k, sweeping the proximity parameter.  Theorem 3.1 predicts
+between ε⁻² (the √n term) and ε⁻³ (the k term) growth.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import CONFIG, check
+
+from repro.core.tester import test_histogram
+from repro.distributions import families
+from repro.experiments import empirical_sample_complexity
+from repro.experiments.report import format_series, print_experiment
+
+N, K = 4000, 4
+GRID_EPS = [0.4, 0.3, 0.2, 0.15]
+
+
+def complexity_at(eps: float, rng: int):
+    family = lambda scale: (
+        lambda src: test_histogram(src, K, eps, config=CONFIG.scaled(scale)).accept
+    )
+    return empirical_sample_complexity(
+        family,
+        complete=lambda g: families.staircase(N, K).to_distribution(),
+        far=lambda g: families.far_from_hk(N, K, eps, g),
+        trials=9,
+        bisection_steps=5,
+        rng=rng,
+    )
+
+
+def run():
+    return [complexity_at(eps, rng=i) for i, eps in enumerate(GRID_EPS)]
+
+
+def test_e06_scaling_eps(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    samples = [r.samples for r in results]
+    rows = [
+        [eps, r.samples, r.scale, r.samples * eps**2]
+        for eps, r in zip(GRID_EPS, results)
+    ]
+    print_experiment(
+        f"E6: empirical sample complexity vs eps (n={N}, k={K})",
+        ["eps", "samples (2/3 frontier)", "budget scale", "samples*eps^2"],
+        rows,
+    )
+    print(format_series(GRID_EPS, samples))
+    check("complexity increases as eps shrinks", samples[-1] > samples[0])
+    # Between eps^-1.5 and eps^-4 over the 0.4 -> 0.15 sweep.
+    ratio = samples[-1] / samples[0]
+    predicted_sq = (0.4 / 0.15) ** 2
+    check("eps growth at least ~eps^-1.5", ratio > (0.4 / 0.15) ** 1.2)
+    check("eps growth at most ~eps^-4", ratio < predicted_sq**2)

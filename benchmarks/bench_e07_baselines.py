@@ -1,0 +1,74 @@
+"""E7 (Table 2) — head-to-head against the prior-work testers.
+
+All four testers run at their own natural budgets on the same completeness
+and soundness workloads; the table reports success rates and measured
+samples.  The published asymptotic budgets are charted alongside at scale
+(where the paper's claimed ordering — ours ≪ CDGR16 ≪ ILR12 for large n —
+must hold).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import CONFIG, EPS, K, N, TRIALS, check
+
+from repro.baselines import cdgr16_test, ilr12_test, learn_offline_test
+from repro.core.budget import (
+    algorithm1_budget,
+    cdgr16_budget,
+    ilr12_budget,
+    learn_offline_budget,
+    theorem_upper_bound,
+)
+from repro.core.tester import test_histogram
+from repro.distributions import families
+from repro.experiments import success_probability
+from repro.experiments.report import print_experiment
+
+TESTERS = {
+    "this-paper": lambda src: test_histogram(src, K, EPS, config=CONFIG).accept,
+    "ilr12": lambda src: ilr12_test(src, K, EPS).accept,
+    "cdgr16": lambda src: cdgr16_test(src, K, EPS).accept,
+    "learn-offline": lambda src: learn_offline_test(src, K, EPS).accept,
+}
+
+
+def run():
+    complete = lambda g: families.staircase(N, K).to_distribution()
+    far = lambda g: families.far_from_hk(N, K, EPS, g)
+    rows = []
+    for name, tester in TESTERS.items():
+        comp = success_probability(complete, tester, True, TRIALS, rng=1)
+        sound = success_probability(far, tester, False, TRIALS, rng=2)
+        rows.append(
+            [name, comp.rate, sound.rate, 0.5 * (comp.mean_samples + sound.mean_samples)]
+        )
+    return rows
+
+
+def test_e07_baseline_head_to_head(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_experiment(
+        f"E7: tester head-to-head (n={N}, k={K}, eps={EPS}, {TRIALS} trials/side)",
+        ["tester", "completeness", "soundness", "samples/trial"],
+        rows,
+    )
+    for name, comp, sound, _ in rows:
+        check(f"{name}: both sides >= 2/3", comp >= 2 / 3 and sound >= 2 / 3)
+
+    big_n = 10**8
+    formula_rows = [
+        ["this-paper", theorem_upper_bound(big_n, K, EPS)],
+        ["ilr12", ilr12_budget(big_n, K, EPS)],
+        ["cdgr16", cdgr16_budget(big_n, K, EPS)],
+        ["learn-offline", learn_offline_budget(big_n, EPS)],
+    ]
+    print_experiment(
+        f"E7b: published budget formulas at n={big_n:,} (who wins at scale)",
+        ["tester", "samples (formula)"],
+        formula_rows,
+    )
+    ours = formula_rows[0][1]
+    check("formula ordering: ours < cdgr16 < ilr12", ours < formula_rows[2][1] < formula_rows[1][1])
+    check("ours sublinear vs learn-offline", ours < formula_rows[3][1] / 100)

@@ -1,0 +1,76 @@
+"""E8 (Fig 6) — the Paninski lower-bound family in action.
+
+Two halves of Proposition 4.1:
+
+* the construction: every ``Q_ε`` member is certifiably far from ``H_k``
+  (closed form, cross-checked against the exact DP) and Algorithm 1
+  rejects it;
+* the hardness: the best pair-statistic distinguisher's success rate climbs
+  from chance to certainty precisely around the ``√n/(c²ε²)`` scale.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import CONFIG, check
+
+from repro.core.tester import test_histogram
+from repro.distributions.projection import unconstrained_l1_distance
+from repro.experiments.report import format_series, print_experiment
+from repro.lowerbounds.paninski import (
+    critical_sample_size,
+    distinguishing_experiment,
+    paninski_distance_lower_bound,
+    paninski_instance,
+)
+
+N, EPS, C = 4000, 0.1, 6.0
+MULTS = [0.125, 0.25, 0.5, 1, 2, 4, 8, 16]
+
+
+def run():
+    critical = critical_sample_size(N, EPS, c=C)
+    curve = [
+        distinguishing_experiment(N, EPS, critical * m, trials=240, rng=i, c=C)
+        for i, m in enumerate(MULTS)
+    ]
+    return critical, curve
+
+
+def test_e08_paninski(benchmark):
+    critical, curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [m, r.m, r.success_rate] for m, r in zip(MULTS, curve)
+    ]
+    print_experiment(
+        f"E8: uniform-vs-Q_eps distinguishing (n={N}, eps={EPS}, critical m = {critical:,.0f})",
+        ["multiplier", "samples m", "success rate"],
+        rows,
+    )
+    print(format_series([r.m for r in curve], [r.success_rate for r in curve]))
+
+    check("chance below 1/4 of critical", curve[1].success_rate < 0.75)
+    check("solved at 16x critical", curve[-1].success_rate > 0.9)
+    rates = [r.success_rate for r in curve]
+    check("roughly monotone", all(b >= a - 0.12 for a, b in zip(rates, rates[1:])))
+
+    # Farness of the family, certificate vs exact DP (small n for the DP).
+    small_n = 600
+    inst = paninski_instance(small_n, EPS, rng=0, c=C)
+    cert = paninski_distance_lower_bound(small_n, EPS, 32, c=C)
+    exact = unconstrained_l1_distance(inst, 32)
+    print_experiment(
+        "E8b: farness certificate vs exact DP (n=600, k=32)",
+        ["certified >=", "exact DP lower bound"],
+        [[cert, exact]],
+    )
+    check("certificate valid", exact >= cert - 1e-9)
+
+    # And the tester itself rejects the family.
+    rejected = sum(
+        not test_histogram(paninski_instance(N, EPS, rng=s, c=C), 16, 2 * EPS, config=CONFIG, rng=s).accept
+        for s in range(8)
+    )
+    print(f"  Algorithm 1 rejected {rejected}/8 Q_eps members at k=16, eps={2*EPS}")
+    check("tester rejects the family", rejected >= 6)

@@ -1,0 +1,52 @@
+"""E9 (Fig 7) — Lemma 4.4: random permutations keep supports sprinkled.
+
+Monte-Carlo estimate of ``Pr[cover(σ(S)) ≤ 6ℓ/7]`` against the lemma's
+``7ℓ/n`` bound, plus the mean cover against the proof's border-count
+expectation ``ℓ(1 − ℓ/n)``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import check
+
+from repro.experiments.report import print_experiment
+from repro.lowerbounds.support_size import cover_experiment, expected_cover
+
+GRID = [
+    (2000, 20),
+    (2000, 100),
+    (2000, 250),
+    (8000, 100),
+    (8000, 400),
+    (8000, 1000),
+]
+TRIALS = 400
+
+
+def run():
+    return [cover_experiment(n, ell, TRIALS, rng=i) for i, (n, ell) in enumerate(GRID)]
+
+
+def test_e09_cover_lemma(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [r.n, r.ell, r.empirical_probability, r.lemma_bound, r.mean_cover,
+         expected_cover(r.ell, r.n)]
+        for r in results
+    ]
+    print_experiment(
+        f"E9: Lemma 4.4 cover probabilities ({TRIALS} permutations/cell)",
+        ["n", "l", "P[cover<=6l/7]", "bound 7l/n", "mean cover", "E border count"],
+        rows,
+    )
+    for r in results:
+        check(
+            f"n={r.n} l={r.ell}: bound holds",
+            r.empirical_probability <= r.lemma_bound + 1e-9,
+        )
+        check(
+            f"n={r.n} l={r.ell}: mean cover ~ l(1-l/n)",
+            abs(r.mean_cover - expected_cover(r.ell, r.n)) < 0.1 * r.ell + 2,
+        )

@@ -1,0 +1,54 @@
+"""E10 (Table 3) — the Proposition 4.2 reduction, end to end.
+
+The histogram tester (Algorithm 1), used strictly as a black box, decides
+``SUPPSIZE_m`` promise instances through random-permutation embedding —
+the mechanism behind the ``Ω(k/(ε log k))`` lower bound.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import CONFIG, check
+
+from repro.core.tester import test_histogram
+from repro.experiments.report import print_experiment
+from repro.lowerbounds.support_size import (
+    reduction_parameters,
+    solve_suppsize_via_tester,
+    suppsize_instance,
+)
+
+GRID_K = [9, 15, 21]
+INSTANCES_PER_SIDE = 4
+
+
+def _histogram_tester(source, k, eps):
+    return test_histogram(source, k, eps, config=CONFIG).accept
+
+
+def run():
+    rows = []
+    for k in GRID_K:
+        m, eps1 = reduction_parameters(k)
+        n = 80 * m
+        small_ok = large_ok = 0
+        for seed in range(INSTANCES_PER_SIDE):
+            inst_small = suppsize_instance(m, True, rng=seed)
+            inst_large = suppsize_instance(m, False, rng=100 + seed)
+            small_ok += solve_suppsize_via_tester(inst_small, n, _histogram_tester, rng=200 + seed)
+            large_ok += not solve_suppsize_via_tester(inst_large, n, _histogram_tester, rng=300 + seed)
+        rows.append([k, m, n, eps1, small_ok, large_ok, INSTANCES_PER_SIDE])
+    return rows
+
+
+def test_e10_suppsize_reduction(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_experiment(
+        "E10: SUPPSIZE via the histogram tester (Proposition 4.2 reduction)",
+        ["k", "m", "n", "eps1", "small correct", "large correct", "per side"],
+        rows,
+    )
+    for k, m, n, eps1, small_ok, large_ok, per_side in rows:
+        check(f"k={k}: small side >= 3/4", small_ok >= 3 * per_side // 4)
+        check(f"k={k}: large side >= 3/4", large_ok >= 3 * per_side // 4)

@@ -1,0 +1,80 @@
+"""E11 (Fig 8) — the Proposition 3.3 statistic separation.
+
+Measures E[Z] and Var[Z] of the [ADK15] χ² statistic in the two regimes the
+proposition separates: χ²-close references (completeness) vs TV-far
+references (soundness).  The structural claims: the expectations straddle
+the decision threshold with a wide gap, and in the far regime
+``Var Z ≤ (E Z)²/100``.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import check
+
+from repro.core.chi2 import active_mask, expected_statistic, interval_statistics
+from repro.distributions import families
+from repro.distributions.discrete import DiscreteDistribution
+from repro.experiments.report import print_experiment
+from repro.util.intervals import Partition
+
+EPS = 0.25
+GRID_N = [1000, 4000]
+BATCHES = 200
+
+
+def measure(dist, ref, n, m):
+    mask = active_mask(ref.pmf, EPS, 1 / 50)
+    part = Partition.trivial(n)
+    gen = np.random.default_rng(0)
+    zs = [
+        float(
+            interval_statistics(
+                dist.sample_counts_poissonized(m, gen), m, ref.pmf, part, mask
+            ).sum()
+        )
+        for _ in range(BATCHES)
+    ]
+    return float(np.mean(zs)), float(np.var(zs))
+
+
+def run():
+    rows = []
+    for n in GRID_N:
+        m = 64.0 * np.sqrt(n) / EPS**2
+        threshold = m * EPS**2 / 8.0
+        ref = families.staircase(n, 4).to_distribution()
+
+        # Completeness regime: a slightly-misestimated reference
+        # (chi2 approximately eps^2/500).
+        drift = np.sqrt(EPS**2 / 500.0 / n)
+        close_pmf = ref.pmf * (1.0 + drift * np.where(np.arange(n) % 2 == 0, 1, -1))
+        close = DiscreteDistribution(close_pmf / close_pmf.sum())
+        mean_c, var_c = measure(close, ref, n, m)
+
+        # Soundness regime: certified eps-far from a uniform reference.
+        uref = families.uniform(n)
+        far = families.far_from_hk(n, 1, EPS, rng=1)
+        mean_f, var_f = measure(far, uref, n, m)
+        exp_f = expected_statistic(far, uref, m, EPS)
+
+        rows.append([n, m, threshold, mean_c, var_c, mean_f, var_f, exp_f])
+    return rows
+
+
+def test_e11_chi2_separation(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_experiment(
+        f"E11: chi2 statistic separation (eps={EPS}, {BATCHES} batches)",
+        ["n", "m", "threshold", "E[Z] close", "Var close", "E[Z] far", "Var far", "theory E[Z] far"],
+        rows,
+    )
+    for n, m, threshold, mean_c, var_c, mean_f, var_f, exp_f in rows:
+        check(f"n={n}: close mean below threshold", mean_c < threshold)
+        check(f"n={n}: far mean above threshold", mean_f > threshold)
+        check(f"n={n}: gap at least 10x", mean_f > 10 * max(mean_c, 1.0))
+        check(f"n={n}: far matches theory within 15%", abs(mean_f - exp_f) < 0.15 * exp_f)
+        check(f"n={n}: far relative variance <= 1/100", var_f <= exp_f**2 / 100.0)

@@ -1,0 +1,75 @@
+"""E12 (Table 4) — the APPROXPART guarantees (Proposition 3.4).
+
+For assorted distributions and values of b, measure each clause of the
+proposition against the true pmf: heavy elements isolated as singletons,
+non-singleton intervals at most 2/b heavy, K = O(b), and (our documented
+deviation) light intervals bounded by singletons + 1 rather than by two.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import check
+
+from repro.core.partition import approx_partition, partition_diagnostics
+from repro.distributions import families
+from repro.distributions.sampling import SampleSource
+from repro.experiments.report import print_experiment
+
+WORKLOADS = {
+    "uniform": lambda n: families.uniform(n),
+    "zipf": lambda n: families.zipf(n, 1.0),
+    "staircase": lambda n: families.staircase(n, 8, ratio=2.0).to_distribution(),
+    "sparse": lambda n: families.sparse_support(n, 25, rng=0),
+}
+N = 4000
+GRID_B = [10, 40, 160]
+REPEATS = 5
+
+
+def run():
+    rows = []
+    for name, factory in WORKLOADS.items():
+        dist = factory(N)
+        for b in GRID_B:
+            worst = {"heavy_not_singleton": 0, "overweight_non_singletons": 0,
+                     "num_intervals": 0, "light_excess": 0}
+            for seed in range(REPEATS):
+                m = int(16 * b * np.log(b + np.e))
+                part = approx_partition(SampleSource(dist, rng=seed), b, m)
+                diag = partition_diagnostics(part, dist.pmf, b)
+                singles = sum(1 for iv in part if iv.is_singleton)
+                worst["heavy_not_singleton"] = max(
+                    worst["heavy_not_singleton"], diag["heavy_not_singleton"]
+                )
+                worst["overweight_non_singletons"] = max(
+                    worst["overweight_non_singletons"], diag["overweight_non_singletons"]
+                )
+                worst["num_intervals"] = max(worst["num_intervals"], diag["num_intervals"])
+                worst["light_excess"] = max(
+                    worst["light_excess"], diag["light_intervals"] - singles - 1
+                )
+            rows.append(
+                [name, b, worst["heavy_not_singleton"],
+                 worst["overweight_non_singletons"], worst["num_intervals"],
+                 int(4 * b + 2), worst["light_excess"]]
+            )
+    return rows
+
+
+def test_e12_approxpart(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_experiment(
+        f"E12: APPROXPART guarantees (n={N}, worst over {REPEATS} runs)",
+        ["workload", "b", "heavy!=singleton", ">2/b intervals", "K", "4b+2 bound",
+         "light - (singletons+1)"],
+        rows,
+    )
+    for name, b, heavy_bad, overweight, big_k, bound, light_excess in rows:
+        check(f"{name} b={b}: heavy are singletons", heavy_bad == 0)
+        check(f"{name} b={b}: non-singletons <= 2/b", overweight == 0)
+        check(f"{name} b={b}: K = O(b)", big_k <= bound)
+        check(f"{name} b={b}: light bounded", light_excess <= 0)

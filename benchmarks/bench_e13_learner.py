@@ -1,0 +1,64 @@
+"""E13 (Fig 9) — the Lemma 3.5 learner's χ² error.
+
+Mean ``dχ²(D̃ᴶ ‖ D̂)`` (target: the flattening of D off its breakpoint
+intervals) versus the sample size m, against the lemma's ``ℓ/m`` bound, plus
+the ablation against the unsmoothed (maximum-likelihood) estimator whose χ²
+error blows up on under-sampled intervals.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import check
+
+from repro.core.learner import empirical_estimate, laplace_estimate
+from repro.distributions import families
+from repro.distributions.distances import chi2_distance
+from repro.distributions.histogram import breakpoint_intervals, flatten_outside
+from repro.distributions.sampling import SampleSource
+from repro.experiments.report import format_series, print_experiment
+from repro.util.intervals import Partition
+
+N, PIECES = 2000, 40
+GRID_M = [2_000, 8_000, 32_000, 128_000]
+REPEATS = 20
+
+
+def run():
+    dist = families.staircase(N, 5, ratio=2.0).to_distribution()
+    part = Partition.equal_width(N, PIECES)
+    target = flatten_outside(dist, part, breakpoint_intervals(dist, part))
+    rows = []
+    for m in GRID_M:
+        laplace_errs, ml_infinite = [], 0
+        for seed in range(REPEATS):
+            counts = SampleSource(dist, rng=seed).draw_counts(m)
+            laplace_errs.append(
+                chi2_distance(target.pmf, laplace_estimate(counts, part).to_pmf())
+            )
+            ml = empirical_estimate(counts, part)
+            if np.isinf(chi2_distance(target.pmf, ml.to_pmf())):
+                ml_infinite += 1
+        rows.append([m, float(np.mean(laplace_errs)), PIECES / m, ml_infinite])
+    return rows
+
+
+def test_e13_learner(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_experiment(
+        f"E13: Lemma 3.5 learner chi2 error (n={N}, l={PIECES} intervals, {REPEATS} reps)",
+        ["m", "mean chi2 (Laplace)", "lemma bound l/m", "ML estimator inf count"],
+        rows,
+    )
+    print(format_series([r[0] for r in rows], [r[1] for r in rows]))
+    for m, err, bound, _ in rows:
+        check(f"m={m}: error <= 2 l/m", err <= 2 * bound)
+    errs = [r[1] for r in rows]
+    check("error decreasing in m", all(a > b for a, b in zip(errs, errs[1:])))
+    check(
+        "~1/m scaling over the sweep",
+        errs[0] / errs[-1] > 0.25 * (GRID_M[-1] / GRID_M[0]),
+    )

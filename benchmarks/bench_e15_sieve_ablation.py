@@ -1,0 +1,80 @@
+"""E15 (ablation) — why the sieve exists, and the corrigendum comparison.
+
+Three variants of the pipeline on the same workloads:
+
+* ``no-sieve`` — learn then χ²-test directly (the naive testing-by-learning
+  the paper's Section 1.3 says must fail: breakpoint intervals wreck the
+  completeness side);
+* ``reuse`` — the paper-literal sieve reusing one sample batch across
+  Phase-B rounds (the analysis the PODS'23 corrigendum flags);
+* ``fresh`` — the default corrigendum-safe sieve with fresh batches per
+  round.
+
+Shape claims: no-sieve loses completeness on breakpoint-misaligned
+histograms while both sieve variants keep it; all three keep soundness;
+reuse is cheaper in samples.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import check
+
+from repro.core.config import TesterConfig
+from repro.core.tester import test_histogram
+from repro.distributions import families
+from repro.distributions.sampling import SampleSource
+from repro.experiments.report import print_experiment
+
+N, K, EPS = 3000, 4, 0.3
+TRIALS = 12
+FRESH = TesterConfig.practical()
+REUSE = TesterConfig.practical(fresh_sieve_samples=False)
+NO_SIEVE = TesterConfig.practical(sieve_enabled=False)
+
+VARIANTS = {
+    "no-sieve": lambda src: test_histogram(src, K, EPS, config=NO_SIEVE).accept,
+    "reuse (paper-literal)": lambda src: test_histogram(src, K, EPS, config=REUSE).accept,
+    "fresh (default)": lambda src: test_histogram(src, K, EPS, config=FRESH).accept,
+}
+
+
+def run():
+    complete = families.staircase(N, K, ratio=3.0).to_distribution()
+    rows = []
+    for name, tester in VARIANTS.items():
+        acc = rej = 0
+        samples = 0.0
+        for seed in range(TRIALS):
+            src = SampleSource(complete, rng=seed)
+            acc += tester(src)
+            samples += src.samples_drawn
+            far = families.far_from_hk(N, K, EPS, rng=seed)
+            src2 = SampleSource(far, rng=100 + seed)
+            rej += not tester(src2)
+            samples += src2.samples_drawn
+        rows.append([name, acc / TRIALS, rej / TRIALS, samples / (2 * TRIALS)])
+    return rows
+
+
+def test_e15_sieve_ablation(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_experiment(
+        f"E15: sieve ablation (n={N}, k={K}, eps={EPS}, {TRIALS} trials/side)",
+        ["variant", "completeness", "soundness", "samples/trial"],
+        rows,
+    )
+    by_name = {r[0]: r for r in rows}
+    check(
+        "no-sieve loses completeness (breakpoint blow-up)",
+        by_name["no-sieve"][1] < 2 / 3,
+    )
+    check("reuse keeps completeness", by_name["reuse (paper-literal)"][1] >= 2 / 3)
+    check("fresh keeps completeness", by_name["fresh (default)"][1] >= 2 / 3)
+    for name in VARIANTS:
+        check(f"{name} keeps soundness", by_name[name][2] >= 2 / 3)
+    check(
+        "reuse cheaper than fresh",
+        by_name["reuse (paper-literal)"][3] < by_name["fresh (default)"][3],
+    )

@@ -1,0 +1,49 @@
+"""E16 (Table 6) — running time of Algorithm 1.
+
+Theorem 3.1 claims time ``√n·poly(log k, 1/ε) + poly(k, 1/ε)`` — in this
+simulation, time per invocation should grow mildly (near-linearly in the
+count-vector length n, since counts are materialised) and stay far from
+quadratic.  This is the one experiment where pytest-benchmark's timing
+machinery is the measurement itself.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import CONFIG, check
+
+from repro.core.tester import test_histogram
+from repro.distributions import families
+from repro.experiments.report import print_experiment
+
+K, EPS = 4, 0.3
+GRID_N = [1000, 4000, 16000, 64000]
+
+
+def one_test(dist, seed):
+    return test_histogram(dist, K, EPS, config=CONFIG, rng=seed)
+
+
+def test_e16_runtime(benchmark):
+    rows = []
+    for n in GRID_N:
+        dist = families.staircase(n, K).to_distribution()
+        start = time.perf_counter()
+        reps = 3
+        for seed in range(reps):
+            one_test(dist, seed)
+        elapsed = (time.perf_counter() - start) / reps
+        rows.append([n, elapsed, elapsed / n * 1e6])
+    print_experiment(
+        f"E16: wall-clock per invocation (k={K}, eps={EPS}, mean of 3)",
+        ["n", "seconds/test", "us per domain point"],
+        rows,
+    )
+    times = [r[1] for r in rows]
+    check("64x n costs < 128x time (sub-quadratic)", times[-1] / max(times[0], 1e-9) < 128)
+
+    # The benchmark fixture times the n=4000 case precisely.
+    dist = families.staircase(4000, K).to_distribution()
+    benchmark(one_test, dist, 0)

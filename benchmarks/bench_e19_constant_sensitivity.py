@@ -1,0 +1,58 @@
+"""E19 (ablation) — sensitivity to the χ² sample-factor constant.
+
+The practical profile's one load-bearing calibration is
+``chi2_sample_factor``: the final accept threshold is
+``(factor/8)·√n`` while the statistic's null noise is ``√(2n)``, so the
+threshold clears the noise by ``factor/(8·√2)`` σ — *independently of n*.
+The paper handles this with factor 20000; the calibration note predicts a
+cliff around factor ≈ 34 (3σ).  This ablation sweeps the factor and
+measures completeness/soundness on both sides of the predicted cliff.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import check
+
+from repro.core.config import TesterConfig
+from repro.core.tester import test_histogram
+from repro.distributions import families
+from repro.experiments.report import print_experiment
+
+N, K, EPS = 3000, 4, 0.3
+TRIALS = 16
+FACTORS = [8.0, 16.0, 32.0, 64.0, 128.0]
+
+
+def run():
+    complete = families.staircase(N, K, ratio=2.5).to_distribution()
+    rows = []
+    for factor in FACTORS:
+        config = TesterConfig.practical(chi2_sample_factor=factor)
+        acc = rej = 0
+        for seed in range(TRIALS):
+            acc += test_histogram(complete, K, EPS, config=config, rng=seed).accept
+            far = families.far_from_hk(N, K, EPS, rng=seed)
+            rej += not test_histogram(far, K, EPS, config=config, rng=100 + seed).accept
+        sigma_margin = factor / (8.0 * 2.0**0.5)
+        rows.append([factor, sigma_margin, acc / TRIALS, rej / TRIALS])
+    return rows
+
+
+def test_e19_constant_sensitivity(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_experiment(
+        f"E19: chi2_sample_factor sweep (n={N}, k={K}, eps={EPS}, {TRIALS} trials/side)",
+        ["factor", "threshold sigma margin", "completeness", "soundness"],
+        rows,
+    )
+    by_factor = {r[0]: r for r in rows}
+    check("soundness holds at every factor", all(r[3] >= 2 / 3 for r in rows))
+    check("completeness solid above the cliff (>= 64)", by_factor[64.0][2] >= 2 / 3)
+    check(
+        "completeness degraded below the cliff (8)",
+        by_factor[8.0][2] < by_factor[64.0][2] + 1e-9,
+    )
+    comp = [r[2] for r in rows]
+    check("completeness non-decreasing in factor", all(b >= a - 0.13 for a, b in zip(comp, comp[1:])))

@@ -1,0 +1,59 @@
+"""Continuous data through the grid adapter (the Section 2 remark).
+
+A latency-monitoring scenario: a service emits response times in [0, 1s).
+The SRE wants to know whether the latency profile is "banded" — well
+described by a few constant-rate regimes (a k-histogram at the monitoring
+resolution) — or structurally messy, in which case percentile alerting on a
+few bands would be misleading.
+
+The paper's testers are defined over discrete domains; `GriddedSource`
+makes them consume raw real-valued samples by gridding on the fly.
+
+Run:  python examples/continuous_stream.py
+"""
+
+import numpy as np
+
+from repro import TesterConfig, test_histogram
+from repro.distributions.continuous import GriddedSource
+
+GRID = 2048  # monitoring resolution: ~0.5ms cells over 1s
+K = 6  # latency bands the dashboard would show
+EPS = 0.25
+
+
+def banded_latency(gen: np.random.Generator, m: int) -> np.ndarray:
+    """Healthy service: three flat regimes (fast path, cache miss, retry)."""
+    u = gen.random(m)
+    fast = 0.05 + gen.random(m) * 0.10  # [50ms, 150ms)
+    miss = 0.20 + gen.random(m) * 0.20  # [200ms, 400ms)
+    retry = 0.70 + gen.random(m) * 0.25  # [700ms, 950ms)
+    out = np.where(u < 0.70, fast, np.where(u < 0.95, miss, retry))
+    return out
+
+
+def oscillating_latency(gen: np.random.Generator, m: int) -> np.ndarray:
+    """Pathological: a beat pattern from two interfering pollers — latency
+    density alternates cell to cell (far from every coarse banding)."""
+    cell = gen.integers(0, GRID // 2, size=m) * 2
+    odd = gen.random(m) < 0.18
+    return (cell + odd + gen.random(m)) / GRID
+
+
+def main() -> None:
+    config = TesterConfig.practical()
+    for name, sampler in [("banded", banded_latency), ("oscillating", oscillating_latency)]:
+        source = GriddedSource(sampler, GRID, rng=0)
+        verdict = test_histogram(source, K, EPS, config=config)
+        print(f"{name} latency profile:")
+        print(f"  verdict : {'ACCEPT' if verdict.accept else 'REJECT'} "
+              f"(stage {verdict.stage!r})")
+        print(f"  reason  : {verdict.reason}")
+        print(f"  samples : {verdict.samples_used:,.0f} latency observations\n")
+    print("interpretation: the banded profile is safe to summarise with "
+          f"{K} bands;\nthe oscillating one needs a finer representation — "
+          "a percentile sketch, not bands.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Model selection: find the smallest k that summarises a column.
+
+Section 1.1 of the paper describes the tester's killer app: run it inside a
+doubling search to find the smallest number of histogram buckets that
+captures a distribution to within ε, then hand that k to an agnostic
+learner — "achieving an optimal tradeoff between accuracy and conciseness".
+
+Run:  python examples/model_selection.py
+"""
+
+import numpy as np
+
+from repro import families
+from repro.distributions.distances import tv_distance
+from repro.learning import select_k
+
+N = 6_000
+EPS = 0.3
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    scenarios = {
+        "uniform column": families.uniform(N),
+        "4-band staircase": families.staircase(N, 4, ratio=3.0).to_distribution(),
+        "16-piece random histogram": families.random_histogram(
+            N, 16, rng, min_width=N // 64, concentration=3.0
+        ).to_distribution(),
+        "bimodal ages": families.discretized_gaussian_mixture(
+            N, centers=[0.3, 0.75], widths=[0.04, 0.08]
+        ),
+    }
+    for name, dist in scenarios.items():
+        result = select_k(dist, EPS, k_max=256, repeats=3, rng=rng)
+        err = tv_distance(dist, result.histogram.to_pmf())
+        print(f"{name}:")
+        print(f"  selected k = {result.k} "
+              f"(tested {sorted(result.accepted_trace)} -> "
+              f"{result.tests_run} tester calls, "
+              f"{result.samples_used:,.0f} samples)")
+        print(f"  learned {result.histogram.num_pieces}-piece summary, "
+              f"TV error {err:.3f} (target {EPS})")
+        print()
+    print("note: property testing guarantees k within the eps-closeness "
+          "regime, so the\nselected k can sit below the generative piece "
+          "count when small pieces carry\nlittle mass - that is the "
+          "optimal conciseness the paper's intro describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works on environments without the
+`wheel` package (PEP 660 editables need it; `setup.py develop` does not)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""histtest — testing histogram distributions.
+
+A production-quality reproduction of Clément L. Canonne's
+*"Are Few Bins Enough: Testing Histogram Distributions"* (PODS 2016;
+corrigendum PODS 2023): given sample access to an unknown distribution over
+``{0, …, n-1}``, decide whether it is a *k-histogram* (piecewise-constant on
+at most ``k`` contiguous intervals) or ε-far in total variation from every
+k-histogram.
+
+Quickstart::
+
+    import numpy as np
+    from repro import families, test_histogram
+
+    hist = families.staircase(n=5000, k=8)
+    verdict = test_histogram(hist.to_distribution(), k=8, eps=0.25, rng=0)
+    assert verdict.accept
+
+Top-level re-exports cover the common surface; sub-packages hold the rest:
+
+* :mod:`repro.core` — Algorithm 1 and its stages (Theorem 3.1);
+* :mod:`repro.distributions` — pmfs, histograms, distances, projections;
+* :mod:`repro.baselines` — prior-work testers ([ILR12], [CDGR16], …);
+* :mod:`repro.learning` — agnostic histogram learning & model selection;
+* :mod:`repro.lowerbounds` — the Section 4 constructions (Theorem 1.2);
+* :mod:`repro.experiments` — the evaluation harness behind benchmarks/.
+"""
+
+from repro.audit import audit_histogram, recommend_buckets
+from repro.core.config import TesterConfig
+from repro.core.tester import HistogramTester, Verdict, test_histogram
+from repro.distributions import families
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.histogram import Histogram, is_k_histogram
+from repro.distributions.replay import ReplaySource
+from repro.distributions.sampling import SampleSource
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiscreteDistribution",
+    "Histogram",
+    "HistogramTester",
+    "ReplaySource",
+    "SampleSource",
+    "TesterConfig",
+    "Verdict",
+    "__version__",
+    "audit_histogram",
+    "families",
+    "is_k_histogram",
+    "recommend_buckets",
+    "test_histogram",
+]

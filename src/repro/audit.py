@@ -1,0 +1,189 @@
+"""High-level dataset auditing — the adoption-facing API.
+
+The library's testers speak the property-testing dialect (oracles, ε, H_k);
+a practitioner has a column of values and two questions:
+
+* "is a k-bucket histogram a faithful summary of this column?"
+* "how many buckets does this column actually need?"
+
+This module answers both over a concrete dataset (any integer array),
+handling the budget arithmetic, the dataset-size check, and the
+select-then-learn pipeline.  All statistical caveats of
+:class:`~repro.distributions.replay.ReplaySource` apply (rows assumed
+i.i.d.; data is consumed, not recycled, within one answer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.budget import algorithm1_budget
+from repro.core.config import TesterConfig
+from repro.core.tester import Verdict, test_histogram
+from repro.distributions.histogram import Histogram
+from repro.distributions.replay import InsufficientSamples, ReplaySource
+from repro.learning.merge import histogram_from_counts
+from repro.util.rng import RandomState
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of a dataset histogram audit."""
+
+    verdict: Verdict
+    n: int
+    k: int
+    eps: float
+    dataset_size: int
+    observations_used: float
+    summary: Histogram | None  # learned only when the audit accepts
+
+    @property
+    def histogram_ok(self) -> bool:
+        """True when a k-bucket summary is certified faithful."""
+        return self.verdict.accept
+
+
+def required_dataset_size(
+    n: int, k: int, eps: float, config: TesterConfig | None = None
+) -> int:
+    """Observations needed (worst case) to audit at these parameters.
+
+    A thin wrapper over :func:`repro.core.budget.algorithm1_budget` plus
+    the learning stage run on acceptance.
+    """
+    if config is None:
+        config = TesterConfig.practical()
+    from repro.learning.merge import merge_learner_samples
+
+    return int(np.ceil(algorithm1_budget(n, k, eps, config) + merge_learner_samples(k, eps)))
+
+
+def audit_histogram(
+    observations: np.ndarray,
+    k: int,
+    eps: float = 0.25,
+    *,
+    n: int | None = None,
+    config: TesterConfig | None = None,
+    learn_on_accept: bool = True,
+    rng: RandomState = None,
+) -> AuditReport:
+    """Audit whether a k-bucket histogram faithfully summarises a column.
+
+    Parameters
+    ----------
+    observations:
+        Integer column values in ``{0, …, n-1}`` (rows assumed i.i.d.).
+    k, eps:
+        Summary size and acceptable total-variation error.
+    learn_on_accept:
+        When the audit accepts, also fit the k-bucket summary from the
+        remaining observations (skipped, with a ``None`` summary, if the
+        dataset runs out).
+
+    Raises
+    ------
+    InsufficientSamples
+        If the dataset cannot cover the tester's budget; the exception
+        message includes how to size the dataset
+        (:func:`required_dataset_size`).
+    """
+    if config is None:
+        config = TesterConfig.practical()
+    source = ReplaySource(observations, n, rng=rng)
+    verdict = test_histogram(source, k, eps, config=config)
+
+    summary = None
+    if verdict.accept and learn_on_accept:
+        from repro.learning.merge import merge_learner_samples
+
+        want = merge_learner_samples(k, eps)
+        take = min(want, source.remaining)
+        if take > 0:
+            counts = source.draw_counts(take)
+            summary = histogram_from_counts(counts, k, eps)
+    return AuditReport(
+        verdict=verdict,
+        n=source.n,
+        k=k,
+        eps=eps,
+        dataset_size=len(np.asarray(observations)),
+        observations_used=source.samples_drawn,
+        summary=summary,
+    )
+
+
+def recommendation_dataset_size(
+    n: int,
+    k_max: int,
+    eps: float,
+    *,
+    config: TesterConfig | None = None,
+    repeats: int = 3,
+) -> int:
+    """Observations needed (worst case) for :func:`recommend_buckets`:
+    a doubling + binary search makes ``O(log k_max)`` amplified tester
+    calls, each at most the ``k_max`` budget."""
+    if config is None:
+        config = TesterConfig.practical()
+    calls = 2 * (max(2, k_max).bit_length() + 1)
+    per_call = algorithm1_budget(n, k_max, eps, config)
+    from repro.learning.merge import merge_learner_samples
+
+    return int(np.ceil(repeats * calls * per_call + merge_learner_samples(k_max, eps)))
+
+
+@dataclass(frozen=True)
+class BucketRecommendation:
+    """Outcome of the bucket-count recommendation."""
+
+    k: int
+    summary: Histogram
+    eps: float
+    observations_used: float
+    trace: dict
+
+
+def recommend_buckets(
+    observations: np.ndarray,
+    eps: float = 0.25,
+    *,
+    n: int | None = None,
+    k_max: int = 256,
+    config: TesterConfig | None = None,
+    repeats: int = 3,
+    rng: RandomState = None,
+) -> BucketRecommendation:
+    """The §1.1 pipeline over a dataset: smallest ε-sufficient bucket count
+    by doubling search, then the fitted summary at that count."""
+    from repro.learning.model_selection import select_k
+
+    if config is None:
+        config = TesterConfig.practical()
+    source = ReplaySource(observations, n, rng=rng)
+    try:
+        result = select_k(source, eps, k_max=k_max, config=config, repeats=repeats)
+    except InsufficientSamples as exc:
+        hint = recommendation_dataset_size(source.n, k_max, eps, config=config, repeats=repeats)
+        raise InsufficientSamples(hint, exc.remaining) from exc
+    return BucketRecommendation(
+        k=result.k,
+        summary=result.histogram,
+        eps=eps,
+        observations_used=source.samples_drawn,
+        trace=result.accepted_trace,
+    )
+
+
+__all__ = [
+    "AuditReport",
+    "BucketRecommendation",
+    "InsufficientSamples",
+    "audit_histogram",
+    "recommend_buckets",
+    "recommendation_dataset_size",
+    "required_dataset_size",
+]

@@ -1,0 +1,52 @@
+"""Baseline testers from prior work, for head-to-head comparisons (E7)."""
+
+from repro.baselines.cdgr16 import CDGR16Verdict, cdgr16_budget_practical, cdgr16_test
+from repro.baselines.ilr12 import ILR12Verdict, ilr12_budget_practical, ilr12_test
+from repro.baselines.kmodal_tester import KModalVerdict, test_k_modal
+from repro.baselines.known_partition import (
+    KnownPartitionVerdict,
+    known_partition_budget,
+    test_known_partition,
+)
+from repro.baselines.l2 import (
+    collision_count,
+    conditional_flatness_test,
+    l2_norm_squared_estimate,
+    uniformity_l2_gap,
+)
+from repro.baselines.learn_offline import (
+    LearnOfflineVerdict,
+    learn_offline_budget_practical,
+    learn_offline_test,
+)
+from repro.baselines.uniformity import (
+    UniformityVerdict,
+    chi2_uniformity_test,
+    collision_budget,
+    collision_uniformity_test,
+)
+
+__all__ = [
+    "CDGR16Verdict",
+    "ILR12Verdict",
+    "KModalVerdict",
+    "KnownPartitionVerdict",
+    "LearnOfflineVerdict",
+    "UniformityVerdict",
+    "cdgr16_budget_practical",
+    "cdgr16_test",
+    "chi2_uniformity_test",
+    "collision_budget",
+    "collision_count",
+    "collision_uniformity_test",
+    "conditional_flatness_test",
+    "ilr12_budget_practical",
+    "ilr12_test",
+    "known_partition_budget",
+    "l2_norm_squared_estimate",
+    "learn_offline_budget_practical",
+    "learn_offline_test",
+    "test_k_modal",
+    "test_known_partition",
+    "uniformity_l2_gap",
+]

@@ -1,0 +1,61 @@
+"""ℓ2 / collision statistics — the substrate of the pre-χ² testers.
+
+Both [ILR12] and the uniformity testers ([Pan08] and the folklore collision
+tester) decide through the second moment: for ``m`` i.i.d. samples with
+occurrence counts ``N_i``, the pairwise collision count
+
+    ``C = Σ_i N_i (N_i − 1) / 2``
+
+satisfies ``E[C] = (m choose 2) · ‖D‖₂²``, and ``‖D‖₂²`` measures distance
+from uniformity: ``‖D − U_I‖₂² = ‖D‖₂² − 1/|I|`` on an interval ``I``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def collision_count(counts: np.ndarray) -> float:
+    """Pairwise collisions ``Σ N_i (N_i − 1)/2`` of a count vector."""
+    counts = np.asarray(counts, dtype=np.float64)
+    if np.any(counts < 0):
+        raise ValueError("negative counts")
+    return float((counts * (counts - 1.0)).sum() / 2.0)
+
+
+def l2_norm_squared_estimate(counts: np.ndarray) -> float:
+    """Unbiased estimator of ``‖D‖₂²`` from occurrence counts.
+
+    ``2C / (m(m−1))``; requires at least two samples.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    m = counts.sum()
+    if m < 2:
+        raise ValueError(f"need at least 2 samples, got {m}")
+    return 2.0 * collision_count(counts) / (m * (m - 1.0))
+
+
+def uniformity_l2_gap(counts: np.ndarray, width: int) -> float:
+    """Estimate of ``‖D_I − U_I‖₂² = ‖D_I‖₂² − 1/|I|`` on a width-``width``
+    interval, from the counts of samples that landed in it."""
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    return l2_norm_squared_estimate(counts) - 1.0 / width
+
+
+def conditional_flatness_test(
+    counts: np.ndarray,
+    width: int,
+    tolerance: float,
+) -> bool:
+    """Accept "``D`` is flat on this interval" iff the estimated ℓ2 gap is at
+    most ``tolerance`` (callers calibrate tolerance to their TV target via
+    ``‖x‖₁ ≤ √|I|·‖x‖₂``: TV-farness ``θ`` inside a width-``w`` interval
+    forces an ℓ2 gap of at least ``4θ²/w``)."""
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    if counts.sum() < 2:
+        # Too few samples to form any collision estimate: the interval is
+        # too light to matter, treat as flat.
+        return True
+    return uniformity_l2_gap(counts, width) <= tolerance

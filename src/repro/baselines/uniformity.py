@@ -1,0 +1,92 @@
+"""Uniformity testing — the ``k = 1`` special case.
+
+Two classical testers:
+
+* :func:`collision_uniformity_test` — the folklore/[Pan08]-style collision
+  tester: estimate ``‖D‖₂²`` and compare with the uniform value ``1/n``;
+  ``dTV(D, U) ≥ ε ⇒ ‖D‖₂² ≥ (1 + 4ε²)/n``.  Sample-optimal at
+  ``Θ(√n/ε²)``.
+* :func:`chi2_uniformity_test` — the [ADK15] χ² tester specialised to the
+  uniform reference (Algorithm 1's machinery at ``k = 1``).
+
+Both serve as the ``k = 1`` baseline row of experiment E7 and as the
+ground-floor sanity check for the lower-bound experiments (E8): on
+Paninski's ``Q_ε`` family they should need ``Θ(√n/ε²)`` samples, no less.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.l2 import l2_norm_squared_estimate
+from repro.core.chi2 import Chi2Result, chi2_test
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.sampling import SampleSource, as_source
+from repro.util.rng import RandomState
+import math
+
+
+@dataclass(frozen=True)
+class UniformityVerdict:
+    """Outcome of a uniformity test."""
+
+    accept: bool
+    statistic: float
+    threshold: float
+    samples_used: float
+
+
+def collision_budget(n: int, eps: float, factor: float = 8.0) -> int:
+    """Sample budget of the collision tester, ``O(√n/ε²)``."""
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0 < eps <= 1:
+        raise ValueError(f"eps must be in (0, 1], got {eps}")
+    return max(4, int(math.ceil(factor * math.sqrt(n) / eps**2)))
+
+
+def collision_uniformity_test(
+    dist: DiscreteDistribution | SampleSource,
+    eps: float,
+    *,
+    num_samples: int | None = None,
+    rng: RandomState = None,
+) -> UniformityVerdict:
+    """Accept iff the ℓ2-norm estimate is below the midpoint between the
+    uniform value ``1/n`` and the ε-far floor ``(1 + 4ε²)/n``."""
+    source = as_source(dist, rng)
+    n = source.n
+    m = num_samples if num_samples is not None else collision_budget(n, eps)
+    counts = source.draw_counts(m)
+    statistic = l2_norm_squared_estimate(counts)
+    threshold = (1.0 + 2.0 * eps * eps) / n
+    return UniformityVerdict(
+        accept=statistic <= threshold,
+        statistic=statistic,
+        threshold=threshold,
+        samples_used=float(m),
+    )
+
+
+def chi2_uniformity_test(
+    dist: DiscreteDistribution | SampleSource,
+    eps: float,
+    *,
+    num_samples: float | None = None,
+    rng: RandomState = None,
+) -> Chi2Result:
+    """The [ADK15] χ² tester against the uniform reference.
+
+    Exact uniformity is χ²-distance 0 from itself, so the Theorem 3.2
+    completeness clause applies verbatim; soundness is the TV clause.
+    """
+    source = as_source(dist, rng)
+    n = source.n
+    m = num_samples if num_samples is not None else float(collision_budget(n, eps, factor=64.0))
+    return chi2_test(
+        source,
+        DiscreteDistribution.uniform(n),
+        eps,
+        m=m,
+        accept_fraction=1.0 / 8.0,
+    )

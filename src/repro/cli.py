@@ -1,0 +1,116 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Three subcommands mirroring the library's main entry points:
+
+* ``test``    — run Algorithm 1 on a named workload;
+* ``select``  — model selection (smallest ε-sufficient k) on a workload;
+* ``budget``  — print the sample-budget landscape for given (n, k, ε).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.budget import budget_table_row
+from repro.core.config import TesterConfig
+from repro.core.tester import test_histogram
+from repro.experiments.report import format_table
+from repro.experiments.workloads import REGISTRY, make
+from repro.learning.model_selection import select_k
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=10_000, help="domain size")
+    parser.add_argument("--k", type=int, default=8, help="histogram pieces")
+    parser.add_argument("--eps", type=float, default=0.25, help="TV proximity")
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--profile",
+        choices=["practical", "paper"],
+        default="practical",
+        help="constant profile (paper = literal worst-case constants)",
+    )
+
+
+def _config(args: argparse.Namespace) -> TesterConfig:
+    return TesterConfig.paper() if args.profile == "paper" else TesterConfig.practical()
+
+
+def _cmd_test(args: argparse.Namespace) -> int:
+    dist = make(args.workload, args.n, args.k, args.eps, rng=args.seed)
+    verdict = test_histogram(dist, args.k, args.eps, config=_config(args), rng=args.seed + 1)
+    print(f"workload  : {args.workload} ({REGISTRY[args.workload].nature})")
+    print(f"verdict   : {'ACCEPT' if verdict.accept else 'REJECT'} (stage: {verdict.stage})")
+    print(f"reason    : {verdict.reason}")
+    print(f"samples   : {verdict.samples_used:,.0f}")
+    for stage, used in verdict.stage_samples.items():
+        print(f"  {stage:<10}: {used:,.0f}")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    dist = make(args.workload, args.n, args.k, args.eps, rng=args.seed)
+    result = select_k(
+        dist, args.eps, k_max=args.k_max, repeats=args.repeats,
+        config=_config(args), rng=args.seed + 1,
+    )
+    print(f"workload   : {args.workload}")
+    print(f"selected k : {result.k}")
+    print(f"probes     : {sorted(result.accepted_trace)}")
+    print(f"samples    : {result.samples_used:,.0f}")
+    print(f"summary    : {result.histogram.num_pieces} pieces")
+    return 0
+
+
+def _cmd_budget(args: argparse.Namespace) -> int:
+    row = budget_table_row(args.n, args.k, args.eps)
+    print(
+        format_table(
+            ["quantity", "samples"],
+            [
+                ["this paper (Thm 1.1)", row["this_paper_ub"]],
+                ["lower bound (Thm 1.2)", row["lower_bound"]],
+                ["ILR12", row["ilr12"]],
+                ["CDGR16", row["cdgr16"]],
+                ["learn offline", row["learn_offline"]],
+            ],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Testing histogram distributions (Canonne, PODS'16/'23).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_test = sub.add_parser("test", help="run the k-histogram tester on a workload")
+    p_test.add_argument("workload", choices=sorted(REGISTRY), help="named workload")
+    _add_common(p_test)
+    p_test.set_defaults(func=_cmd_test)
+
+    p_select = sub.add_parser("select", help="find the smallest eps-sufficient k")
+    p_select.add_argument("workload", choices=sorted(REGISTRY))
+    _add_common(p_select)
+    p_select.add_argument("--k-max", type=int, default=256)
+    p_select.add_argument("--repeats", type=int, default=3)
+    p_select.set_defaults(func=_cmd_select)
+
+    p_budget = sub.add_parser("budget", help="print the sample-budget landscape")
+    _add_common(p_budget)
+    p_budget.set_defaults(func=_cmd_budget)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: Algorithm 1 and its stages."""
+
+from repro.core.budget import (
+    algorithm1_budget,
+    cdgr16_budget,
+    ilr12_budget,
+    learn_offline_budget,
+    paninski_lower_bound,
+    support_size_lower_bound,
+    theorem_lower_bound,
+    theorem_upper_bound,
+)
+from repro.core.chi2 import Chi2Result, chi2_test, expected_statistic
+from repro.core.config import TesterConfig
+from repro.core.estimation import (
+    DistanceEstimate,
+    estimate_distance_to_hk,
+    estimation_budget,
+)
+from repro.core.learner import laplace_estimate, learn_histogram
+from repro.core.partition import approx_partition, partition_diagnostics
+from repro.core.sieve import SieveResult, sieve_intervals
+from repro.core.tester import HistogramTester, Verdict, test_histogram
+
+__all__ = [
+    "Chi2Result",
+    "DistanceEstimate",
+    "HistogramTester",
+    "SieveResult",
+    "TesterConfig",
+    "Verdict",
+    "algorithm1_budget",
+    "approx_partition",
+    "cdgr16_budget",
+    "chi2_test",
+    "estimate_distance_to_hk",
+    "estimation_budget",
+    "expected_statistic",
+    "ilr12_budget",
+    "laplace_estimate",
+    "learn_histogram",
+    "learn_offline_budget",
+    "paninski_lower_bound",
+    "partition_diagnostics",
+    "sieve_intervals",
+    "support_size_lower_bound",
+    "test_histogram",
+    "theorem_lower_bound",
+    "theorem_upper_bound",
+]

@@ -1,0 +1,118 @@
+"""Tolerant estimation of the distance to ``H_k``.
+
+The tester answers a one-bit question; sometimes the practitioner wants the
+*number*: "how far is this column from the best k-bucket summary?"  This
+module estimates ``dTV(D, H_k)`` from samples with certified-style bounds,
+by combining the plug-in projection DPs with the analytic sampling-noise
+floor (the same correction the learn-offline baseline uses):
+
+* the **upper estimate** comes from the flattening DP on the (grid-split)
+  empirical distribution — an upper bound on the distance of the empirical
+  pmf, inflated by sampling noise;
+* the **lower estimate** subtracts the noise floor and a union-style margin
+  from the unconstrained (median) DP, which lower-bounds the empirical
+  distance.
+
+The interval is asymptotically consistent (both ends converge to the truth
+as ``m/n → ∞``) and in tests the true distance lands inside it with high
+probability at ``m = Θ(n/ε²)``.  This costs Θ(n) samples — tolerant
+estimation is exactly the regime where the [VV10] hardness bites and
+sublinear budgets are impossible, which is why Algorithm 1 exists at all;
+the docstring-level contrast *is* the paper's Section 1.3 story.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.projection import (
+    coarse_flattening_projection,
+    flattening_distance,
+    unconstrained_l1_distance,
+)
+from repro.distributions.sampling import SampleSource, as_source
+from repro.learning.merge import quantile_partition
+from repro.util.rng import RandomState
+
+
+@dataclass(frozen=True)
+class DistanceEstimate:
+    """An interval estimate of ``dTV(D, H_k)``."""
+
+    low: float
+    high: float
+    point: float
+    samples_used: float
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, (int, float)):
+            return False
+        return self.low <= float(value) <= self.high
+
+
+def estimation_budget(n: int, accuracy: float, factor: float = 8.0) -> int:
+    """Samples for a ±accuracy estimate: ``Θ(n/accuracy²)`` (plug-in rate)."""
+    if n < 1 or not 0 < accuracy <= 1:
+        raise ValueError(f"bad parameters n={n}, accuracy={accuracy}")
+    return max(4, int(math.ceil(factor * n / accuracy**2)))
+
+
+def _noise_floor(empirical: np.ndarray, m: float) -> float:
+    """Analytic expectation of the plug-in TV inflation,
+    ``½·Σ E|N_i/m − p_i| ≈ ½·Σ √(2 p_i/(π m))``."""
+    return 0.5 * float(np.sqrt(2.0 * empirical / (math.pi * m)).sum())
+
+
+def estimate_distance_to_hk(
+    dist: DiscreteDistribution | SampleSource,
+    k: int,
+    accuracy: float = 0.1,
+    *,
+    rng: RandomState = None,
+    num_samples: int | None = None,
+) -> DistanceEstimate:
+    """Estimate ``dTV(D, H_k)`` to within about ``accuracy``.
+
+    Returns a :class:`DistanceEstimate` whose ``point`` value is the
+    noise-corrected plug-in projection distance and whose ``[low, high]``
+    interval brackets it with the analytic noise floor on both sides (the
+    ``low`` end additionally uses the unconstrained-DP lower bound, so it
+    is conservative for certification: ``low > 0`` is strong evidence the
+    distribution is genuinely not a k-histogram).
+    """
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    if not 0 < accuracy <= 1:
+        raise ValueError(f"accuracy must be in (0, 1], got {accuracy}")
+    source = as_source(dist, rng)
+    n = source.n
+    m = num_samples if num_samples is not None else estimation_budget(n, accuracy)
+    counts = source.draw_counts(m)
+    if counts.sum() <= 0:
+        raise ValueError("drew zero samples")
+    empirical = counts / counts.sum()
+    floor = _noise_floor(empirical, m)
+
+    if n <= 1024:
+        upper_raw = flattening_distance(empirical, k)
+        lower_raw = unconstrained_l1_distance(empirical, k)
+    else:
+        base = quantile_partition(counts, cells=min(n, max(32 * k, 512)))
+        flattened = base.flatten(empirical)
+        grid = coarse_flattening_projection(flattened, base, k).distance
+        within = 0.5 * float(np.abs(empirical - flattened).sum())
+        upper_raw = grid + within
+        # The grid DP restricted to flattened data lower-bounds nothing by
+        # itself; use the mean-vs-median factor-2 relation conservatively.
+        lower_raw = upper_raw / 2.0
+
+    point = max(0.0, upper_raw - floor)
+    low = max(0.0, lower_raw - floor - accuracy / 2.0)
+    high = upper_raw + accuracy / 2.0
+    return DistanceEstimate(
+        low=low, high=high, point=point, samples_used=float(m)
+    )

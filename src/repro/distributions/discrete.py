@@ -1,0 +1,236 @@
+"""Discrete probability distributions over ``{0, …, n-1}``.
+
+:class:`DiscreteDistribution` is the sample oracle of the testing model: the
+only access any tester in this library gets to an unknown distribution is
+through :meth:`DiscreteDistribution.sample` (fixed sample size) or
+:meth:`DiscreteDistribution.sample_poissonized` (the paper's Poissonization
+trick).  The class also supports the structural operations the paper's
+constructions need — restriction to a subdomain, relabeling by a permutation,
+embedding into a larger domain, and mixing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.util.rng import RandomState, ensure_rng
+
+#: Tolerance for pmf normalisation checks (generous: pmfs are often the
+#: output of long floating-point pipelines).
+_NORMALISATION_ATOL = 1e-9
+
+
+class DiscreteDistribution:
+    """An explicit pmf over ``{0, …, n-1}`` with sampling access.
+
+    Parameters
+    ----------
+    pmf:
+        Non-negative array summing to one (within tolerance).  The array is
+        copied and re-normalised exactly, so downstream arithmetic can rely
+        on ``pmf.sum() == 1`` up to float rounding.
+    validate:
+        Skip validation only when constructing from an already-trusted array
+        in a hot loop.
+    """
+
+    __slots__ = ("_pmf", "_cdf")
+
+    def __init__(self, pmf: np.ndarray, *, validate: bool = True) -> None:
+        arr = np.array(pmf, dtype=np.float64)
+        if validate:
+            if arr.ndim != 1 or len(arr) == 0:
+                raise ValueError("pmf must be a non-empty 1-d array")
+            if not np.all(np.isfinite(arr)):
+                raise ValueError("pmf contains non-finite entries")
+            if np.any(arr < -_NORMALISATION_ATOL):
+                raise ValueError("pmf contains negative probabilities")
+            total = arr.sum()
+            if abs(total - 1.0) > max(_NORMALISATION_ATOL, 1e-12 * len(arr)):
+                raise ValueError(f"pmf sums to {total}, expected 1")
+            arr = np.clip(arr, 0.0, None)
+            arr /= arr.sum()
+        self._pmf = arr
+        self._pmf.flags.writeable = False
+        self._cdf: Optional[np.ndarray] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, n: int) -> "DiscreteDistribution":
+        """The uniform distribution over ``{0, …, n-1}``."""
+        if n <= 0:
+            raise ValueError(f"domain size must be positive, got {n}")
+        return cls(np.full(n, 1.0 / n), validate=False)
+
+    @classmethod
+    def point_mass(cls, n: int, at: int) -> "DiscreteDistribution":
+        """The distribution placing all mass at ``at``."""
+        if not 0 <= at < n:
+            raise ValueError(f"point {at} outside domain [0, {n})")
+        pmf = np.zeros(n)
+        pmf[at] = 1.0
+        return cls(pmf, validate=False)
+
+    @classmethod
+    def from_weights(cls, weights: np.ndarray) -> "DiscreteDistribution":
+        """Normalise an arbitrary non-negative weight vector into a pmf."""
+        arr = np.asarray(weights, dtype=np.float64)
+        if arr.ndim != 1 or len(arr) == 0:
+            raise ValueError("weights must be a non-empty 1-d array")
+        if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+            raise ValueError("weights must be finite and non-negative")
+        total = arr.sum()
+        if total <= 0:
+            raise ValueError("weights must have positive total mass")
+        return cls(arr / total, validate=False)
+
+    @classmethod
+    def from_counts(cls, counts: np.ndarray) -> "DiscreteDistribution":
+        """The empirical (plug-in) distribution of an occurrence-count vector."""
+        return cls.from_weights(np.asarray(counts, dtype=np.float64))
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Domain size."""
+        return len(self._pmf)
+
+    @property
+    def pmf(self) -> np.ndarray:
+        """The probability vector (read-only view)."""
+        return self._pmf
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, i: int) -> float:
+        return float(self._pmf[i])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiscreteDistribution):
+            return NotImplemented
+        return self.n == other.n and np.array_equal(self._pmf, other._pmf)
+
+    def __hash__(self) -> int:
+        return hash(self._pmf.tobytes())
+
+    def __repr__(self) -> str:
+        return f"DiscreteDistribution(n={self.n})"
+
+    def support(self) -> np.ndarray:
+        """Indices with strictly positive probability."""
+        return np.flatnonzero(self._pmf > 0)
+
+    def support_size(self) -> int:
+        """Number of elements with strictly positive probability."""
+        return int(np.count_nonzero(self._pmf > 0))
+
+    def min_nonzero(self) -> float:
+        """Smallest positive probability (``inf`` for the empty support)."""
+        positive = self._pmf[self._pmf > 0]
+        return float(positive.min()) if len(positive) else float("inf")
+
+    def mass(self, indices: np.ndarray) -> float:
+        """Total probability of a set of domain points."""
+        return float(self._pmf[np.asarray(indices, dtype=np.int64)].sum())
+
+    # -- sampling (the testing model's only access) -------------------------
+
+    def _cumulative(self) -> np.ndarray:
+        if self._cdf is None:
+            cdf = np.cumsum(self._pmf)
+            cdf[-1] = 1.0
+            self._cdf = cdf
+        return self._cdf
+
+    def sample(self, m: int, rng: RandomState = None) -> np.ndarray:
+        """Draw ``m`` i.i.d. samples; returns an int64 array of length ``m``."""
+        if m < 0:
+            raise ValueError(f"sample size must be non-negative, got {m}")
+        gen = ensure_rng(rng)
+        if m == 0:
+            return np.empty(0, dtype=np.int64)
+        u = gen.random(m)
+        return np.searchsorted(self._cumulative(), u, side="right").astype(np.int64)
+
+    def sample_counts(self, m: int, rng: RandomState = None) -> np.ndarray:
+        """Occurrence counts ``N_i`` of ``m`` i.i.d. samples (multinomial)."""
+        if m < 0:
+            raise ValueError(f"sample size must be non-negative, got {m}")
+        gen = ensure_rng(rng)
+        return gen.multinomial(m, self._pmf).astype(np.int64)
+
+    def sample_counts_poissonized(self, m: float, rng: RandomState = None) -> np.ndarray:
+        """Poissonized counts: ``N_i ~ Poisson(m * D(i))``, independent.
+
+        This is the paper's Poissonization trick (Section 2): the total
+        number of samples is ``Poisson(m)`` and the per-element counts
+        become independent, which every χ²-statistic analysis relies on.
+        """
+        if m < 0:
+            raise ValueError(f"expected sample size must be non-negative, got {m}")
+        gen = ensure_rng(rng)
+        return gen.poisson(m * self._pmf).astype(np.int64)
+
+    def empirical(self, m: int, rng: RandomState = None) -> "DiscreteDistribution":
+        """The plug-in estimate from ``m`` samples (uniform if ``m == 0``)."""
+        counts = self.sample_counts(m, rng)
+        if counts.sum() == 0:
+            return DiscreteDistribution.uniform(self.n)
+        return DiscreteDistribution.from_counts(counts)
+
+    # -- structural operations ----------------------------------------------
+
+    def permute(self, sigma: np.ndarray) -> "DiscreteDistribution":
+        """Relabel the domain: returns ``D ∘ σ⁻¹``, i.e. new[σ(i)] = old[i].
+
+        A sample ``s`` from the permuted distribution is distributed as
+        ``σ(s₀)`` for ``s₀`` drawn from the original — exactly the
+        "re-building the identity of the samples" step of Section 4.2.
+        """
+        sigma = np.asarray(sigma, dtype=np.int64)
+        if sigma.shape != (self.n,) or not np.array_equal(np.sort(sigma), np.arange(self.n)):
+            raise ValueError("sigma must be a permutation of the domain")
+        pmf = np.empty(self.n)
+        pmf[sigma] = self._pmf
+        return DiscreteDistribution(pmf, validate=False)
+
+    def embed(self, n_large: int, offset: int = 0) -> "DiscreteDistribution":
+        """Embed into a larger domain, padding with zero-probability points."""
+        if n_large < self.n + offset:
+            raise ValueError("target domain too small for the embedding")
+        pmf = np.zeros(n_large)
+        pmf[offset : offset + self.n] = self._pmf
+        return DiscreteDistribution(pmf, validate=False)
+
+    def mix(self, other: "DiscreteDistribution", weight: float) -> "DiscreteDistribution":
+        """The mixture ``(1 - weight)·self + weight·other``."""
+        if other.n != self.n:
+            raise ValueError("cannot mix distributions over different domains")
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"mixture weight must be in [0, 1], got {weight}")
+        return DiscreteDistribution(
+            (1.0 - weight) * self._pmf + weight * other._pmf, validate=False
+        )
+
+    def conditioned_on(self, mask: np.ndarray) -> "DiscreteDistribution":
+        """Condition on a boolean subdomain mask (renormalised)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n,):
+            raise ValueError("mask must match the domain size")
+        restricted = np.where(mask, self._pmf, 0.0)
+        total = restricted.sum()
+        if total <= 0:
+            raise ValueError("conditioning event has zero probability")
+        return DiscreteDistribution(restricted / total, validate=False)
+
+    def restrict(self, mask: np.ndarray) -> np.ndarray:
+        """Unnormalised restriction (a *sub*-distribution) as a raw array."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n,):
+            raise ValueError("mask must match the domain size")
+        return np.where(mask, self._pmf, 0.0)

@@ -1,0 +1,263 @@
+"""Distances between distributions (and sub-distributions).
+
+Implements every metric the paper manipulates:
+
+* total variation / ℓ1 (the testing metric),
+* the asymmetric χ² divergence ``dχ²(D₁ ‖ D₂)`` (the learning metric),
+* their restrictions to a subdomain (footnote 6 of the paper): for an
+  index set ``G``, ``d^G`` sums only over ``i ∈ G`` — the restrictions need
+  not be probability distributions, which is exactly how the sieved tester
+  uses them,
+* ℓ2 and Kolmogorov–Smirnov, used by baselines and diagnostics.
+
+All functions accept either :class:`DiscreteDistribution` objects or raw
+numpy arrays (so sub-distributions can be passed directly).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.distributions.discrete import DiscreteDistribution
+
+ArrayLike = Union[DiscreteDistribution, np.ndarray]
+
+
+def _as_array(dist: ArrayLike) -> np.ndarray:
+    if isinstance(dist, DiscreteDistribution):
+        return dist.pmf
+    arr = np.asarray(dist, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError("expected a 1-d probability vector")
+    return arr
+
+
+def _pair(d1: ArrayLike, d2: ArrayLike) -> tuple[np.ndarray, np.ndarray]:
+    a, b = _as_array(d1), _as_array(d2)
+    if a.shape != b.shape:
+        raise ValueError(f"domain mismatch: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def _masked(arr: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+    if mask is None:
+        return arr
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != arr.shape:
+        raise ValueError("mask shape does not match the domain")
+    return arr[mask]
+
+
+def l1_distance(d1: ArrayLike, d2: ArrayLike, mask: np.ndarray | None = None) -> float:
+    """``‖D₁ − D₂‖₁``, optionally restricted to a boolean subdomain mask."""
+    a, b = _pair(d1, d2)
+    return float(np.abs(_masked(a, mask) - _masked(b, mask)).sum())
+
+
+def tv_distance(d1: ArrayLike, d2: ArrayLike, mask: np.ndarray | None = None) -> float:
+    """Total variation distance, ``½ ‖D₁ − D₂‖₁`` (restricted when masked).
+
+    The restricted variant is the paper's ``d^I_TV`` — half the ℓ1 norm over
+    the subdomain, *not* renormalised.
+    """
+    return 0.5 * l1_distance(d1, d2, mask)
+
+
+def l2_distance(d1: ArrayLike, d2: ArrayLike, mask: np.ndarray | None = None) -> float:
+    """Euclidean distance ``‖D₁ − D₂‖₂``."""
+    a, b = _pair(d1, d2)
+    diff = _masked(a, mask) - _masked(b, mask)
+    return float(np.sqrt(diff @ diff))
+
+
+def chi2_distance(d1: ArrayLike, d2: ArrayLike, mask: np.ndarray | None = None) -> float:
+    """Asymmetric χ² divergence ``dχ²(D₁ ‖ D₂) = Σ (D₁(i) − D₂(i))² / D₂(i)``.
+
+    Terms where both arguments put zero mass contribute zero; a point where
+    ``D₂`` is zero but ``D₁`` is not makes the divergence infinite.  With a
+    ``mask`` this is the paper's restricted ``d^I_χ²``.
+    """
+    a, b = _pair(d1, d2)
+    a, b = _masked(a, mask), _masked(b, mask)
+    zero_ref = b <= 0
+    if np.any(zero_ref & (a > 0)):
+        return float("inf")
+    safe = ~zero_ref
+    diff = a[safe] - b[safe]
+    return float(np.sum(diff * diff / b[safe]))
+
+
+def ks_distance(d1: ArrayLike, d2: ArrayLike) -> float:
+    """Kolmogorov–Smirnov distance: sup over prefixes of the cdf gap."""
+    a, b = _pair(d1, d2)
+    return float(np.max(np.abs(np.cumsum(a) - np.cumsum(b))))
+
+
+def hellinger_distance(d1: ArrayLike, d2: ArrayLike) -> float:
+    """Hellinger distance ``(½ Σ (√D₁ − √D₂)²)^½`` (diagnostics only)."""
+    a, b = _pair(d1, d2)
+    diff = np.sqrt(a) - np.sqrt(b)
+    return float(np.sqrt(0.5 * (diff @ diff)))
+
+
+def tv_chi2_inequality_gap(d1: ArrayLike, d2: ArrayLike) -> float:
+    """Slack in the standard bound ``dTV² ≤ ¼ · dχ²`` (Cauchy–Schwarz).
+
+    Returns ``¼·dχ²(D₁‖D₂) − dTV(D₁,D₂)²``; non-negative for any pair with
+    finite χ².  Used by property tests to pin the metric inequality that the
+    paper's Step-10/Step-13 interplay silently relies on.
+    """
+    chi2 = chi2_distance(d1, d2)
+    if np.isinf(chi2):
+        return float("inf")
+    return 0.25 * chi2 - tv_distance(d1, d2) ** 2
+
+
+def ak_distance(d1: ArrayLike, d2: ArrayLike, ell: int) -> float:
+    """The ``A_ℓ`` distance: TV computed at interval granularity,
+    ``max over partitions of [n] into ≤ ℓ intervals of ½ Σ_I |D₁(I) − D₂(I)|``.
+
+    The metric behind identity testing of structured distributions
+    ([DKN15]) and the [CDGR16] baseline.  Computed exactly: with prefix
+    differences ``d_i = F₁(i) − F₂(i)``, an interval contributes
+    ``|d_hi − d_lo|``, so choosing breakpoints to maximise
+    ``Σ_j |d_{b_j} − d_{b_{j−1}}|`` is the "maximum total variation of an
+    (ℓ+1)-point subsequence" problem, solved optimally by persistence
+    simplification (see ``_max_subsequence_variation``).
+    """
+    if ell < 1:
+        raise ValueError(f"ell must be at least 1, got {ell}")
+    a, b = _pair(d1, d2)
+    d = np.concatenate(([0.0], np.cumsum(a - b)))
+    extrema = _alternating_extrema(d)
+    if len(extrema) < 2:
+        return 0.0
+    # The exact DP is O(ℓ·E²); cap E by first dropping the lowest-
+    # persistence lobes (each drop keeps a feasible subsequence, so the
+    # result stays a lower bound and is near-exact in practice).
+    if len(extrema) > _AK_EXACT_CAP:
+        extrema = _simplify_extrema(extrema, _AK_EXACT_CAP)
+    return 0.5 * _max_subsequence_variation(extrema, ell)
+
+
+#: Above this many alternating extrema, pre-simplify before the exact DP.
+_AK_EXACT_CAP = 1024
+
+
+def _alternating_extrema(d: np.ndarray) -> np.ndarray:
+    """Compress a sequence to its endpoints plus strict turning points."""
+    diffs = np.diff(d)
+    nonzero = np.flatnonzero(diffs)
+    if len(nonzero) == 0:
+        return d[:1]
+    signs = np.sign(diffs[nonzero])
+    turning = np.flatnonzero(signs[:-1] != signs[1:])
+    idx = np.concatenate(([0], nonzero[turning] + 1, [len(d) - 1]))
+    return d[np.unique(idx)]
+
+
+def _simplify_extrema(extrema: np.ndarray, target: int) -> np.ndarray:
+    """Greedy lobe removal down to ``target`` extrema.
+
+    Repeatedly deletes the smallest *swing* (merging its two endpoints out
+    of the sequence).  The survivors are a genuine subsequence of the input
+    with the smallest-variation detail removed first, so downstream maxima
+    computed on them lower-bound the true value.
+    """
+    import heapq
+
+    values = list(map(float, extrema))
+    count = len(values)
+    if count <= target:
+        return extrema
+    prev = list(range(-1, count - 1))
+    nxt = list(range(1, count + 1))
+    alive = [True] * count
+
+    def swing_after(j: int) -> float:
+        return abs(values[nxt[j]] - values[j]) if nxt[j] < count else float("inf")
+
+    heap = [(swing_after(j), j) for j in range(count - 1)]
+    heapq.heapify(heap)
+    remaining = count
+    while remaining > target and heap:
+        s, j = heapq.heappop(heap)
+        if not alive[j] or nxt[j] >= count or not alive[nxt[j]] or s != swing_after(j):
+            continue
+        right = nxt[j]
+        if prev[j] < 0 and nxt[right] >= count:
+            break  # only the two endpoints left
+        if prev[j] < 0:
+            # Keep the fixed first point; drop its partner.
+            alive[right] = False
+            nxt[j] = nxt[right]
+            if nxt[right] < count:
+                prev[nxt[right]] = j
+            remaining -= 1
+            touched = j
+        elif nxt[right] >= count:
+            # Keep the fixed last point; drop j.
+            alive[j] = False
+            nxt[prev[j]] = right
+            prev[right] = prev[j]
+            remaining -= 1
+            touched = prev[right]
+        else:
+            # Interior lobe: drop both of its endpoints.
+            alive[j] = False
+            alive[right] = False
+            nxt[prev[j]] = nxt[right]
+            prev[nxt[right]] = prev[j]
+            remaining -= 2
+            touched = prev[nxt[right]]
+        if touched >= 0 and alive[touched] and nxt[touched] < count:
+            heapq.heappush(heap, (swing_after(touched), touched))
+    result = [values[j] for j in range(count) if alive[j]]
+    return np.asarray(result)
+
+
+def _max_subsequence_variation(extrema: np.ndarray, segments: int) -> float:
+    """Max ``Σ|Δ|`` over subsequences of ``extrema`` (first and last points
+    fixed) with at most ``segments`` steps — exact dynamic program.
+
+    ``f_t[j] = max over i < j of f_{t−1}[i] + |e_j − e_i|`` with
+    ``f_1[j] = |e_j − e_0|``; answer ``max_{t ≤ segments} f_t[last]``.
+    Vectorised over ``i``; O(segments·E²) with early exit once an extra
+    segment stops helping.
+    """
+    values = np.asarray(extrema, dtype=np.float64)
+    count = len(values)
+    if count - 1 <= segments:
+        return float(np.abs(np.diff(values)).sum())
+    gaps = np.abs(values[:, None] - values[None, :])  # (i, j)
+    lower = np.tril(np.ones((count, count), dtype=bool))  # i >= j: invalid
+    gaps = np.where(lower, -np.inf, gaps)
+    f = gaps[0].copy()  # exactly one segment
+    best = f[-1]
+    stale = 0
+    for _ in range(1, min(segments, count - 1)):
+        f = np.max(f[:, None] + gaps, axis=0)
+        # f_t[last] can oscillate with the parity of t (an extra point may
+        # only help in pairs), so require two consecutive non-improvements
+        # before stopping early.
+        if f[-1] > best + 1e-15:
+            best = f[-1]
+            stale = 0
+        else:
+            stale += 1
+            if stale >= 2:
+                break
+    return float(best)
+
+
+def empirical_tv(counts1: np.ndarray, counts2: np.ndarray) -> float:
+    """Plug-in TV estimate between two empirical count vectors."""
+    c1 = np.asarray(counts1, dtype=np.float64)
+    c2 = np.asarray(counts2, dtype=np.float64)
+    if c1.shape != c2.shape:
+        raise ValueError("count vectors cover different domains")
+    if c1.sum() <= 0 or c2.sum() <= 0:
+        raise ValueError("count vectors must be non-empty")
+    return tv_distance(c1 / c1.sum(), c2 / c2.sum())

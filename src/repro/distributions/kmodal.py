@@ -1,0 +1,215 @@
+"""k-modal distributions and the Birgé decomposition.
+
+The paper remarks (Section 1.2) that the Theorem 1.2 lower bound "implies
+the same lower bound on the sample complexity of testing k-modal
+distributions" — distributions whose pmf goes up and down at most ``k``
+times.  This module supplies the k-modal substrate and the classical bridge
+to histograms:
+
+* exact modality counting and membership (ground truth for experiments);
+* random k-modal generators (completeness workloads);
+* the **Birgé decomposition**: a monotone distribution is ``ε``-close in TV
+  to its flattening on an *oblivious* geometric partition with
+  ``O(log(n)/ε)`` pieces ([Bir87]); a k-modal distribution, split at its
+  modes, is therefore ``ε``-close to an ``O(k·log(n)/ε)``-histogram.
+
+That bridge turns the histogram tester into a k-modality tester (see
+:func:`repro.baselines.kmodal_tester.test_k_modal`): testing modality
+reduces to testing membership in ``H_{k'}`` with a relaxed distance — the
+same reduction template [CDGR16] uses for shape classes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.histogram import Histogram
+from repro.util.intervals import Partition
+from repro.util.rng import RandomState, ensure_rng
+
+#: Direction changes smaller than this are treated as flat (pure-float
+#: plateau tolerance; exact synthetic pmfs are exactly flat).
+_DIRECTION_ATOL = 1e-12
+
+
+def num_direction_changes(pmf: np.ndarray) -> int:
+    """Number of strict up/down direction changes of the pmf.
+
+    A monotone (non-increasing or non-decreasing) pmf has 0 changes; a
+    unimodal pmf has at most 1; the paper's k-modal class allows ``k``.
+    Plateaus do not count as changes.
+    """
+    pmf = np.asarray(pmf, dtype=np.float64)
+    diffs = np.diff(pmf)
+    signs = np.sign(np.where(np.abs(diffs) <= _DIRECTION_ATOL, 0.0, diffs))
+    signs = signs[signs != 0]
+    if len(signs) == 0:
+        return 0
+    return int(np.count_nonzero(signs[:-1] != signs[1:]))
+
+
+def is_k_modal(dist: DiscreteDistribution | np.ndarray, k: int) -> bool:
+    """Exact membership in the k-modal class (explicit-pmf oracle).
+
+    Following the paper's phrasing, the class allows the pmf "to go up and
+    down or down and up at most k times": at most ``k`` direction changes.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    pmf = dist.pmf if isinstance(dist, DiscreteDistribution) else np.asarray(dist)
+    return num_direction_changes(pmf) <= k
+
+
+def robust_direction_changes(values: np.ndarray, tolerance: np.ndarray | float) -> int:
+    """Direction changes with per-element hysteresis.
+
+    Counts a flip only when the sequence moves against the current
+    direction by more than the combined tolerance of the running extreme
+    and the new point — so wiggles at noise scale are ignored.  For a true
+    sequence with ``c`` changes observed under element-wise noise below
+    half its tolerance, the robust count never exceeds ``c``; genuinely
+    alternating sequences far above the tolerance count in full.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or len(values) == 0:
+        raise ValueError("values must be a non-empty 1-d array")
+    tol = np.broadcast_to(np.asarray(tolerance, dtype=np.float64), values.shape)
+    if np.any(tol < 0):
+        raise ValueError("tolerances must be non-negative")
+    changes = 0
+    direction = 0
+    extreme, ext_tol = values[0], tol[0]
+    for v, t in zip(values[1:], tol[1:]):
+        band = t + ext_tol
+        if direction == 0:
+            if v > extreme + band:
+                direction, extreme, ext_tol = 1, v, t
+            elif v < extreme - band:
+                direction, extreme, ext_tol = -1, v, t
+        elif direction == 1:
+            if v >= extreme:
+                extreme, ext_tol = v, t
+            elif v < extreme - band:
+                changes += 1
+                direction, extreme, ext_tol = -1, v, t
+        else:
+            if v <= extreme:
+                extreme, ext_tol = v, t
+            elif v > extreme + band:
+                changes += 1
+                direction, extreme, ext_tol = 1, v, t
+    return changes
+
+
+def modes(pmf: np.ndarray) -> np.ndarray:
+    """Positions where the direction flips (boundaries of monotone runs)."""
+    pmf = np.asarray(pmf, dtype=np.float64)
+    diffs = np.diff(pmf)
+    sign = 0.0
+    flips = []
+    for i, d in enumerate(diffs):
+        s = 0.0 if abs(d) <= _DIRECTION_ATOL else math.copysign(1.0, d)
+        if s == 0.0:
+            continue
+        if sign != 0.0 and s != sign:
+            flips.append(i)
+        sign = s
+    return np.asarray(flips, dtype=np.int64)
+
+
+def random_k_modal(
+    n: int, k: int, rng: RandomState = None, *, smoothness: float = 3.0
+) -> DiscreteDistribution:
+    """A random distribution with exactly ``<= k`` direction changes.
+
+    Built by stitching ``k + 1`` monotone runs with alternating direction
+    (sorted Gamma increments per run); ``smoothness`` shapes how heavy the
+    runs' swings are.
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    gen = ensure_rng(rng)
+    runs = min(k + 1, n)
+    bounds = np.unique(
+        np.concatenate(([0, n], gen.choice(np.arange(1, n), size=runs - 1, replace=False)))
+        if runs > 1
+        else np.array([0, n])
+    )
+    pmf = np.empty(n)
+    ascending = bool(gen.integers(0, 2))
+    level = gen.gamma(smoothness)
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        width = b - a
+        steps = np.sort(gen.gamma(smoothness, size=width))
+        segment = steps if ascending else steps[::-1]
+        # Anchor the run at the current level so runs join continuously
+        # enough to not create extra flips at the seams.
+        segment = segment - segment[0] + level if ascending else segment - segment[-1] + level
+        segment = np.maximum(segment, 1e-12)
+        pmf[a:b] = segment
+        level = segment[-1]
+        ascending = not ascending
+    return DiscreteDistribution.from_weights(pmf)
+
+
+def birge_partition(n: int, eps: float) -> Partition:
+    """Birgé's oblivious geometric partition of ``{0, …, n-1}``.
+
+    Interval widths grow geometrically as ``⌊(1+ε)^j⌋``; the partition has
+    ``O(log(n)/ε)`` intervals and the flattening of *any* monotone
+    distribution on it is ``O(ε)``-close in TV ([Bir87]).
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0 < eps <= 1:
+        raise ValueError(f"eps must be in (0, 1], got {eps}")
+    bounds = [0]
+    width = 1.0
+    while bounds[-1] < n:
+        step = max(1, int(math.floor(width)))
+        bounds.append(min(n, bounds[-1] + step))
+        width *= 1.0 + eps
+    return Partition(np.asarray(bounds, dtype=np.int64))
+
+
+def kmodal_histogram_pieces(n: int, k: int, eps: float) -> int:
+    """Pieces needed so every k-modal distribution is ε-close to ``H_pieces``:
+    ``(k + 1)`` monotone runs × the Birgé count per run, plus seams."""
+    per_run = len(birge_partition(n, eps))
+    return (k + 1) * per_run + k
+
+
+def birge_flattening(dist: DiscreteDistribution, eps: float) -> Histogram:
+    """Flatten a distribution on its mode-split Birgé partition.
+
+    For a k-modal input the result is an ``O(k log(n)/ε)``-histogram at TV
+    distance ``O(ε)`` — the decomposition behind the reduction-based
+    k-modality tester (and a succinct sketch in its own right).
+    """
+    pmf = dist.pmf
+    n = dist.n
+    flips = modes(pmf)
+    run_bounds = np.concatenate(([0], flips + 1, [n]))
+    pieces = [0]
+    for a, b in zip(run_bounds[:-1], run_bounds[1:]):
+        width = b - a
+        local = birge_partition(width, eps) if width > 0 else None
+        if local is not None:
+            # Orient the geometric growth from the run's lighter end: Birgé's
+            # guarantee is for non-increasing runs from the left; reverse
+            # for ascending runs.
+            ascending = width >= 2 and pmf[b - 1] >= pmf[a]
+            offsets = local.boundaries[1:]
+            if ascending:
+                cuts = b - np.asarray(offsets[::-1])[:-1]
+                pieces.extend(int(c) for c in cuts if pieces[-1] < c < b)
+            else:
+                pieces.extend(int(a + off) for off in offsets[:-1])
+        pieces.append(int(b))
+    partition = Partition(np.unique(np.asarray(pieces, dtype=np.int64)))
+    return Histogram.flattening(dist, partition)

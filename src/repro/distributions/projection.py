@@ -1,0 +1,457 @@
+"""Distance to the class ``H_k`` by dynamic programming.
+
+Step 10 of Algorithm 1 must decide whether some ``D* ∈ H_k`` is close to the
+learned ``D̂`` in TV restricted to the kept subdomain ``G`` — "can be done in
+time poly(k, 1/ε) by dynamic programming, as in [CDGR16, Lemma 4.11]".  This
+module provides that oracle, plus exact ground-truth distances used across
+the experiment suite.
+
+Two DP objectives are implemented, sandwiching the true distance
+``dTV(p, H_k)``:
+
+* :func:`flattening_distance` — the minimum over partitions into at most
+  ``k`` intervals of ``dTV(p, flatten(p))``.  The flattening is always a
+  bona-fide distribution, so this is an **upper bound** on the true
+  distance, and classically at most twice it (an interval's mean is a
+  2-approximation of its ℓ1-optimal constant).  This is the projection the
+  algorithm (and the learn-then-project baseline) actually uses.
+* :func:`unconstrained_l1_distance` — the minimum over arbitrary
+  non-negative ≤ k-piece functions (mass constraint dropped; per-interval
+  optimum is the median), i.e. a **lower bound** on the true distance.
+  Soundness experiments use it as a farness certificate:
+  ``unconstrained_l1_distance(p, k) ≥ ε`` implies ``dTV(p, H_k) ≥ ε``.
+
+Both support a "don't-care" subdomain mask (error counted only on ``G``) and
+a coarse, piece-granularity variant operating on an explicit base partition
+— the form Step 10 needs, where breakpoints are restricted to borders of the
+``APPROXPART`` intervals (a restriction that is lossless in the completeness
+case, where the unknown histogram is constant on every kept interval, and
+safe in the soundness case, where searching a subclass can only make the
+check stricter).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.distances import ArrayLike, _as_array
+from repro.distributions.histogram import Histogram
+from repro.util.intervals import Partition
+
+#: Point-granularity DPs are O(n² k) time and O(n²) memory; refuse domains
+#: where that is plainly infeasible rather than hanging.
+_MAX_EXACT_N = 2048
+
+
+@dataclass(frozen=True)
+class Projection:
+    """Result of projecting a pmf onto (a subclass of) ``H_k``."""
+
+    distance: float
+    histogram: Histogram
+    boundaries: np.ndarray
+
+
+# ---------------------------------------------------------------------------
+# Cost matrices (point granularity)
+# ---------------------------------------------------------------------------
+
+
+def _check_point_inputs(p: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+    n = len(p)
+    if n > _MAX_EXACT_N:
+        raise ValueError(
+            f"point-granularity DP limited to n <= {_MAX_EXACT_N} (got {n}); "
+            "use the coarse variant on a base partition instead"
+        )
+    if mask is None:
+        return np.ones(n, dtype=bool)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (n,):
+        raise ValueError("mask shape does not match the domain")
+    return mask
+
+
+def _flattening_cost_matrix(p: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """``C[i, j]`` = masked ℓ1 error of flattening ``p`` on ``[i, j)``.
+
+    The flattening constant is the *full* interval mean (masked-out points
+    included), so that the assembled piecewise function keeps total mass 1.
+    """
+    n = len(p)
+    cost = np.full((n + 1, n + 1), np.inf)
+    prefix = np.concatenate(([0.0], np.cumsum(p)))
+    for i in range(n):
+        tail = p[i:]
+        tail_mask = mask[i:]
+        lengths = np.arange(1, n - i + 1, dtype=np.float64)
+        means = (prefix[i + 1 :] - prefix[i]) / lengths
+        # err[t, j'] = |p[i+t] - mean over [i, i+j'+1)| for t <= j'
+        err = np.abs(tail[:, None] - means[None, :])
+        err[~tail_mask, :] = 0.0
+        tri = np.tril(np.ones((n - i, n - i), dtype=bool)).T
+        err = np.where(tri, err, 0.0)
+        cost[i, i + 1 :] = err.sum(axis=0)
+    cost[np.arange(n + 1), np.arange(n + 1)] = 0.0
+    return cost
+
+
+class _RunningMedianCost:
+    """Two-heap running median with sums: O(log n) insert, O(1) query of
+    ``min_c Σ |v − c|`` over the values inserted so far."""
+
+    __slots__ = ("_low", "_high", "_low_sum", "_high_sum")
+
+    def __init__(self) -> None:
+        self._low: list[float] = []  # max-heap (negated): values <= median
+        self._high: list[float] = []  # min-heap: values > median
+        self._low_sum = 0.0
+        self._high_sum = 0.0
+
+    def insert(self, value: float) -> None:
+        if not self._low or value <= -self._low[0]:
+            heapq.heappush(self._low, -value)
+            self._low_sum += value
+        else:
+            heapq.heappush(self._high, value)
+            self._high_sum += value
+        # Rebalance so len(low) is len(high) or len(high) + 1.
+        if len(self._low) > len(self._high) + 1:
+            moved = -heapq.heappop(self._low)
+            self._low_sum -= moved
+            heapq.heappush(self._high, moved)
+            self._high_sum += moved
+        elif len(self._high) > len(self._low):
+            moved = heapq.heappop(self._high)
+            self._high_sum -= moved
+            heapq.heappush(self._low, -moved)
+            self._low_sum += moved
+
+    def cost(self) -> float:
+        if not self._low:
+            return 0.0
+        median = -self._low[0]
+        below = median * len(self._low) - self._low_sum
+        above = self._high_sum - median * len(self._high)
+        return below + above
+
+
+def _median_cost_matrix(p: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """``C[i, j]`` = min over constants ``c`` of masked ``Σ |p_t − c|``.
+
+    The optimum is the median of the masked values; maintained incrementally
+    per row with a two-heap running median (O(n² log n) overall).
+    """
+    n = len(p)
+    cost = np.full((n + 1, n + 1), np.inf)
+    np.fill_diagonal(cost, 0.0)
+    for i in range(n):
+        tracker = _RunningMedianCost()
+        for j in range(i + 1, n + 1):
+            if mask[j - 1]:
+                tracker.insert(float(p[j - 1]))
+            cost[i, j] = tracker.cost()
+    return cost
+
+
+# ---------------------------------------------------------------------------
+# The interval DP
+# ---------------------------------------------------------------------------
+
+
+def _interval_dp(cost: np.ndarray, pieces: int) -> tuple[float, np.ndarray]:
+    """Minimise total cost of splitting ``[0, n)`` into at most ``pieces``
+    intervals; returns (optimal cost, boundary array of an optimiser).
+
+    ``cost[i, j]`` must hold the cost of making ``[i, j)`` one piece (``inf``
+    below the diagonal, ``0`` on it).  Because the diagonal is zero, "empty"
+    pieces are free, so the DP with exactly ``pieces`` splits covers every
+    count up to ``pieces``.
+    """
+    n = cost.shape[0] - 1
+    pieces = min(pieces, n)
+    if pieces < 1:
+        raise ValueError(f"need at least one piece, got {pieces}")
+    columns = np.arange(n + 1)
+    f = np.full(n + 1, np.inf)
+    f[0] = 0.0
+    parent = np.zeros((pieces, n + 1), dtype=np.int64)
+    for r in range(pieces):
+        stacked = f[:, None] + cost
+        parent[r] = np.argmin(stacked, axis=0)
+        f = stacked[parent[r], columns]
+    bounds = [n]
+    j = n
+    for r in range(pieces - 1, -1, -1):
+        j = int(parent[r][j])
+        bounds.append(j)
+    if bounds[-1] != 0:
+        raise AssertionError("DP backtrack did not reach the origin")
+    boundary = np.unique(np.asarray(bounds, dtype=np.int64))
+    return float(f[n]), boundary
+
+
+# ---------------------------------------------------------------------------
+# Point-granularity public API
+# ---------------------------------------------------------------------------
+
+
+def project_flattening(
+    dist: ArrayLike, k: int, mask: np.ndarray | None = None
+) -> Projection:
+    """Best-flattening projection of a pmf onto ``H_k`` (masked TV error)."""
+    p = _as_array(dist)
+    mask_arr = _check_point_inputs(p, mask)
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    cost = _flattening_cost_matrix(p, mask_arr)
+    l1, bounds = _interval_dp(cost, k)
+    partition = Partition(bounds)
+    hist = Histogram.from_masses(partition, partition.aggregate(p))
+    return Projection(distance=0.5 * l1, histogram=hist, boundaries=bounds)
+
+
+def flattening_distance(dist: ArrayLike, k: int, mask: np.ndarray | None = None) -> float:
+    """``min_Π dTV(p, flatten_Π(p))`` over ≤ k-interval partitions.
+
+    Upper bound on ``dTV(p, H_k)`` and at most twice it.
+    """
+    return project_flattening(dist, k, mask).distance
+
+
+def flattening_profile(
+    dist: ArrayLike, k_max: int, mask: np.ndarray | None = None
+) -> np.ndarray:
+    """``flattening_distance(dist, k)`` for every ``k`` in ``1..k_max`` at the
+    cost of a single cost-matrix build and one DP pass.
+
+    The DP's ``r``-th iteration is exactly the best-with-≤-r-pieces value,
+    so the whole profile falls out of intermediate states.  Use this for
+    "minimal sufficient k" searches — calling :func:`flattening_distance`
+    per k rebuilds the O(n²)-per-row cost matrix every time.
+    """
+    p = _as_array(dist)
+    mask_arr = _check_point_inputs(p, mask)
+    if k_max < 1:
+        raise ValueError(f"k_max must be at least 1, got {k_max}")
+    n = len(p)
+    cost = _flattening_cost_matrix(p, mask_arr)
+    f = np.full(n + 1, np.inf)
+    f[0] = 0.0
+    profile = np.empty(min(k_max, n), dtype=np.float64)
+    for r in range(len(profile)):
+        f = np.min(f[:, None] + cost, axis=0)
+        profile[r] = 0.5 * f[n]
+    if k_max > n:
+        profile = np.concatenate((profile, np.full(k_max - n, profile[-1])))
+    return profile
+
+
+def unconstrained_l1_distance(
+    dist: ArrayLike, k: int, mask: np.ndarray | None = None
+) -> float:
+    """``min_h ½‖p − h‖₁`` over ≤ k-piece functions with no mass constraint.
+
+    A certified **lower bound** on ``dTV(p, H_k)``: every distribution in
+    ``H_k`` is in particular a ≤ k-piece non-negative function.
+    """
+    p = _as_array(dist)
+    mask_arr = _check_point_inputs(p, mask)
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    cost = _median_cost_matrix(p, mask_arr)
+    l1, _ = _interval_dp(cost, k)
+    return 0.5 * l1
+
+
+def histogram_distance_bounds(
+    dist: ArrayLike, k: int, mask: np.ndarray | None = None
+) -> tuple[float, float]:
+    """``(lower, upper)`` bounds sandwiching ``dTV(p, H_k)``."""
+    lower = unconstrained_l1_distance(dist, k, mask)
+    upper = flattening_distance(dist, k, mask)
+    return lower, upper
+
+
+# ---------------------------------------------------------------------------
+# Coarse (piece-granularity) variant — the Step-10 oracle
+# ---------------------------------------------------------------------------
+
+
+#: Above this many base intervals the projection first coarsens the base
+#: (see ``_coarsen_for_projection``); the cost build is O(K³)-ish otherwise.
+_MAX_PROJECTION_BASE = 512
+
+
+def _coarsen_for_projection(
+    p: np.ndarray, base: Partition, k: int, kept: np.ndarray, limit: int
+) -> tuple[np.ndarray, Partition, np.ndarray, float]:
+    """Shrink a large base partition to ≤ ``limit`` intervals.
+
+    Keeps every border where the kept-mask flips (masked and unmasked
+    pieces must never merge), the largest value-jump borders (scored by
+    ``|Δv|·min(weight)`` — the borders an optimal k-grouping actually
+    needs), and an equal-mass quantile skeleton; then flattens ``p`` inside
+    the merged cells.  Returns the flattened pmf, the coarse partition, its
+    kept mask, and the flattening's own TV error on the kept domain (which
+    callers must add to any distance they report, keeping the result an
+    upper bound).
+    """
+    big_k = len(base)
+    bounds = base.boundaries
+    masses = base.aggregate(p)
+    lengths = base.lengths().astype(np.float64)
+    values = masses / lengths
+
+    keep_border = np.zeros(big_k + 1, dtype=bool)
+    keep_border[0] = keep_border[big_k] = True
+    # (a) mask flips.
+    keep_border[1:big_k] |= kept[:-1] != kept[1:]
+    # (b) top value jumps, scored by the flattening cost a missing border
+    # would incur.
+    scores = np.abs(np.diff(values)) * np.minimum(masses[:-1], masses[1:])
+    jump_budget = max(0, limit - int(keep_border.sum()) - limit // 2)
+    if jump_budget > 0:
+        top = np.argsort(scores)[::-1][:jump_budget]
+        keep_border[top + 1] = True
+    # (c) equal-mass quantile skeleton with whatever budget remains.
+    remaining = limit - int(keep_border.sum())
+    if remaining > 0:
+        cum = np.cumsum(masses)
+        targets = (np.arange(1, remaining + 1) / (remaining + 1)) * cum[-1]
+        idx = np.searchsorted(cum, targets) + 1
+        keep_border[np.clip(idx, 1, big_k - 1)] = True
+
+    coarse = Partition(bounds[keep_border])
+    labels = np.searchsorted(coarse.boundaries[1:-1], bounds[:-1], side="right")
+    coarse_kept = np.zeros(len(coarse), dtype=bool)
+    coarse_kept[labels[kept]] = True
+    flattened = coarse.flatten(p)
+    kept_points = np.repeat(kept, base.lengths())
+    coarsen_err = 0.5 * float(np.abs((p - flattened))[kept_points].sum())
+    return flattened, coarse, coarse_kept, coarsen_err
+
+
+def coarse_flattening_projection(
+    dist: ArrayLike,
+    base: Partition,
+    k: int,
+    kept: np.ndarray | None = None,
+    *,
+    max_base: int = _MAX_PROJECTION_BASE,
+) -> Projection:
+    """Best flattening of ``dist`` whose breakpoints lie on borders of
+    ``base``, with TV error counted only on the kept intervals.
+
+    ``kept`` is a boolean vector over the ``K`` base intervals (default: all
+    kept).  Runs in ``O(K² k)`` after an ``O(K²)``-per-row cost build,
+    independent of the domain size ``n`` — this is the oracle Step 10 of
+    Algorithm 1 calls.  Bases larger than ``max_base`` are first coarsened
+    (mask-flip + top-jump + quantile borders); the coarsening's own error is
+    *added* to the reported distance, so the result remains a valid upper
+    bound (accepting on it is always sound).
+    """
+    p = _as_array(dist)
+    if len(p) != base.n:
+        raise ValueError("distribution and base partition cover different domains")
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    big_k = len(base)
+    if kept is None:
+        kept = np.ones(big_k, dtype=bool)
+    kept = np.asarray(kept, dtype=bool)
+    if kept.shape != (big_k,):
+        raise ValueError("kept mask must have one entry per base interval")
+
+    extra_error = 0.0
+    if big_k > max_base:
+        p, base, kept, extra_error = _coarsen_for_projection(p, base, k, kept, max_base)
+        big_k = len(base)
+
+    masses = base.aggregate(p)
+    lengths = base.lengths().astype(np.float64)
+    mass_prefix = np.concatenate(([0.0], np.cumsum(masses)))
+    len_prefix = np.concatenate(([0.0], np.cumsum(lengths)))
+
+    first_values = p[base.boundaries[:-1]]
+    piecewise_constant = bool(np.allclose(base.flatten(p), p, atol=1e-15))
+
+    if piecewise_constant:
+        # Vectorised path (the Algorithm 1 case: p = D̂ is constant on each
+        # base piece).  cost[a, b] = Σ_{q∈[a,b), kept} len_q·|val_q − μ_ab|.
+        weights = np.where(kept, lengths, 0.0)
+        cost = np.full((big_k + 1, big_k + 1), np.inf)
+        np.fill_diagonal(cost, 0.0)
+        for a in range(big_k):
+            span_len = len_prefix[a + 1 :] - len_prefix[a]
+            mus = (mass_prefix[a + 1 :] - mass_prefix[a]) / span_len  # (big_k - a,)
+            dev = np.abs(first_values[a:, None] - mus[None, :])  # (q', b')
+            dev *= weights[a:, None]
+            upper = np.tri(big_k - a, big_k - a, dtype=bool).T  # q' <= b'
+            cost[a, a + 1 :] = np.where(upper, dev, 0.0).sum(axis=0)
+    else:
+        # Generic path: within-piece values vary, so evaluate each piece's
+        # deviation from the merged mean through its sorted values.
+        piece_sorted = []
+        piece_prefix = []
+        for q in range(big_k):
+            seg = np.sort(p[base[q].slice()])
+            piece_sorted.append(seg)
+            piece_prefix.append(np.concatenate(([0.0], np.cumsum(seg))))
+
+        def piece_error(q: int, mu: float) -> float:
+            """Σ_{t in piece q} |p_t − mu| via binary search on sorted values."""
+            seg = piece_sorted[q]
+            pre = piece_prefix[q]
+            pos = int(np.searchsorted(seg, mu))
+            below = mu * pos - pre[pos]
+            above = (pre[-1] - pre[pos]) - mu * (len(seg) - pos)
+            return below + above
+
+        cost = np.full((big_k + 1, big_k + 1), np.inf)
+        np.fill_diagonal(cost, 0.0)
+        for a in range(big_k):
+            for b in range(a + 1, big_k + 1):
+                mu = (mass_prefix[b] - mass_prefix[a]) / (len_prefix[b] - len_prefix[a])
+                total = 0.0
+                for q in range(a, b):
+                    if kept[q]:
+                        total += piece_error(q, mu)
+                cost[a, b] = total
+
+    l1, coarse_bounds = _interval_dp(cost, k)
+    domain_bounds = base.boundaries[coarse_bounds]
+    partition = Partition(domain_bounds)
+    hist = Histogram.from_masses(partition, partition.aggregate(p))
+    return Projection(
+        distance=0.5 * l1 + extra_error, histogram=hist, boundaries=domain_bounds
+    )
+
+
+def exists_close_histogram(
+    dist: ArrayLike,
+    base: Partition,
+    k: int,
+    kept: np.ndarray,
+    tolerance: float,
+) -> bool:
+    """Step-10 check: is some ``D* ∈ H_k`` within ``tolerance`` of ``dist``
+    in TV restricted to the kept subdomain?
+
+    Decides via :func:`coarse_flattening_projection`; see the module
+    docstring for why the coarse search is sound on both sides.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    projection = coarse_flattening_projection(dist, base, k, kept)
+    return projection.distance <= tolerance
+
+
+def project_pmf(dist: ArrayLike, k: int) -> DiscreteDistribution:
+    """Convenience: the best-flattening k-histogram of a pmf, as a
+    sampleable distribution (used by the learn-then-project baseline)."""
+    return project_flattening(dist, k).histogram.to_distribution()

@@ -1,0 +1,101 @@
+"""Sample access discipline.
+
+Testing algorithms must only see i.i.d. samples, never the pmf.  To keep
+that honest (and to account sample budgets exactly, which the whole
+evaluation revolves around), every tester in this library draws through a
+:class:`SampleSource` — a wrapper around a distribution that exposes *only*
+sampling operations and counts every sample drawn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.util.rng import RandomState, child_rng, ensure_rng
+
+
+def counts_from_samples(samples: np.ndarray, n: int) -> np.ndarray:
+    """Occurrence counts ``N_i`` over the domain ``{0, …, n-1}``."""
+    samples = np.asarray(samples, dtype=np.int64)
+    if len(samples) and (samples.min() < 0 or samples.max() >= n):
+        raise ValueError("samples outside the domain")
+    return np.bincount(samples, minlength=n).astype(np.int64)
+
+
+class SampleSource:
+    """Sample-only access to an unknown distribution, with budget accounting.
+
+    ``poissonized`` draws report the *expected* number of samples to the
+    budget (the standard accounting under the Poissonization trick: the
+    realised ``Poisson(m)`` count concentrates around ``m``).
+    """
+
+    def __init__(self, dist: DiscreteDistribution, rng: RandomState = None) -> None:
+        self._dist = dist
+        self._rng = ensure_rng(rng)
+        self._drawn = 0.0
+
+    @property
+    def n(self) -> int:
+        """Domain size (public knowledge in the testing model)."""
+        return self._dist.n
+
+    @property
+    def samples_drawn(self) -> float:
+        """Total samples charged so far (expected counts for Poisson draws)."""
+        return self._drawn
+
+    def reset_budget(self) -> None:
+        """Zero the sample counter (e.g. between independent trials)."""
+        self._drawn = 0.0
+
+    def draw(self, m: int) -> np.ndarray:
+        """``m`` i.i.d. samples as domain indices."""
+        if m < 0:
+            raise ValueError(f"sample size must be non-negative, got {m}")
+        self._drawn += m
+        return self._dist.sample(m, self._rng)
+
+    def draw_counts(self, m: int) -> np.ndarray:
+        """Occurrence counts of ``m`` i.i.d. samples."""
+        if m < 0:
+            raise ValueError(f"sample size must be non-negative, got {m}")
+        self._drawn += m
+        return self._dist.sample_counts(m, self._rng)
+
+    def draw_counts_poissonized(self, m: float) -> np.ndarray:
+        """Independent per-element counts ``N_i ~ Poisson(m · D(i))``."""
+        if m < 0:
+            raise ValueError(f"expected sample size must be non-negative, got {m}")
+        self._drawn += m
+        return self._dist.sample_counts_poissonized(m, self._rng)
+
+    def spawn(self) -> "SampleSource":
+        """An independent source over the same distribution (fresh stream),
+        sharing no budget with the parent — used for trial isolation."""
+        return SampleSource(self._dist, child_rng(self._rng))
+
+    def permuted(self, sigma: np.ndarray) -> "SampleSource":
+        """A source for the relabeled distribution ``D ∘ σ⁻¹``.
+
+        Models the Section-4.2 reduction step: "re-building the identity of
+        the samples according to σ" — samples from the permuted source are
+        exactly ``σ(s)`` for ``s`` drawn from the original.
+        """
+        return SampleSource(self._dist.permute(sigma), child_rng(self._rng))
+
+
+def as_source(
+    dist: DiscreteDistribution | SampleSource, rng: RandomState = None
+) -> SampleSource:
+    """Normalise tester input: wrap a raw distribution into a source.
+
+    When ``dist`` is already a source, ``rng`` must be None (the source owns
+    its stream).
+    """
+    if isinstance(dist, SampleSource):
+        if rng is not None:
+            raise ValueError("cannot reseed an existing SampleSource")
+        return dist
+    return SampleSource(dist, rng)

@@ -1,0 +1,74 @@
+"""Histogram (de)serialization — the summary as a storable artifact.
+
+The database motivation ends with a histogram living in a catalog; this
+module round-trips :class:`~repro.distributions.histogram.Histogram`
+through a plain JSON-compatible dict (and strings), with validation on the
+way back in.  The format stores interval boundaries and per-piece *masses*
+(masses survive rounding better than per-point values, whose sum-to-one
+constraint couples to interval widths).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.distributions.histogram import Histogram
+from repro.util.intervals import Partition
+
+#: Format identifier embedded in every payload.
+FORMAT = "repro.histogram/v1"
+
+
+def histogram_to_dict(hist: Histogram) -> dict:
+    """A JSON-compatible representation of a histogram summary."""
+    return {
+        "format": FORMAT,
+        "n": hist.n,
+        "boundaries": [int(b) for b in hist.partition.boundaries],
+        "masses": [float(m) for m in hist.piece_masses()],
+    }
+
+
+def histogram_from_dict(payload: dict) -> Histogram:
+    """Rebuild a histogram from :func:`histogram_to_dict` output.
+
+    Validates the format tag, the partition structure, and renormalises the
+    masses exactly (tolerating JSON round-off up to 1e-6).
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("payload must be a dict")
+    if payload.get("format") != FORMAT:
+        raise ValueError(f"unknown format {payload.get('format')!r}, expected {FORMAT!r}")
+    try:
+        boundaries = np.asarray(payload["boundaries"], dtype=np.int64)
+        masses = np.asarray(payload["masses"], dtype=np.float64)
+        n = int(payload["n"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed histogram payload: {exc}") from exc
+    partition = Partition(boundaries)
+    if partition.n != n:
+        raise ValueError(f"boundaries cover [0, {partition.n}) but n={n}")
+    if masses.shape != (len(partition),):
+        raise ValueError("need exactly one mass per piece")
+    if np.any(masses < 0):
+        raise ValueError("masses must be non-negative")
+    total = masses.sum()
+    if not 1 - 1e-6 <= total <= 1 + 1e-6:
+        raise ValueError(f"masses sum to {total}, expected 1 (±1e-6)")
+    return Histogram.from_masses(partition, masses / total)
+
+
+def histogram_to_json(hist: Histogram) -> str:
+    """Serialise to a JSON string."""
+    return json.dumps(histogram_to_dict(hist))
+
+
+def histogram_from_json(text: str) -> Histogram:
+    """Parse a histogram from :func:`histogram_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid JSON: {exc}") from exc
+    return histogram_from_dict(payload)

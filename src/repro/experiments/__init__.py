@@ -1,0 +1,36 @@
+"""Evaluation harness: trial runners, complexity estimation, workloads."""
+
+from repro.experiments.estimate import ComplexityEstimate, empirical_sample_complexity
+from repro.experiments.report import format_series, format_table, print_experiment
+from repro.experiments.runner import (
+    AcceptanceEstimate,
+    acceptance_probability,
+    rejection_probability,
+    success_probability,
+)
+from repro.experiments.workloads import (
+    REGISTRY,
+    Workload,
+    completeness_workloads,
+    get_workload,
+    make,
+    soundness_workloads,
+)
+
+__all__ = [
+    "REGISTRY",
+    "AcceptanceEstimate",
+    "ComplexityEstimate",
+    "Workload",
+    "acceptance_probability",
+    "completeness_workloads",
+    "empirical_sample_complexity",
+    "format_series",
+    "format_table",
+    "get_workload",
+    "make",
+    "print_experiment",
+    "rejection_probability",
+    "soundness_workloads",
+    "success_probability",
+]

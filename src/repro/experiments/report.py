@@ -1,0 +1,65 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every benchmark prints the rows its experiment promises in DESIGN.md;
+this module keeps the formatting consistent (and diff-able between runs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Human-friendly numeric formatting (3 significant digits, thousands)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[j]) for j, cell in enumerate(cells))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    body = "\n".join(line(r) for r in str_rows)
+    return f"{line(list(headers))}\n{rule}\n{body}"
+
+
+def print_experiment(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Print (and return) a titled experiment table — one per benchmark."""
+    table = format_table(headers, rows)
+    banner = f"\n=== {title} ===\n{table}\n"
+    print(banner)
+    return banner
+
+
+def format_series(xs: Sequence[float], ys: Sequence[float], width: int = 48) -> str:
+    """A tiny ASCII chart for figure-style experiments (log-ish bars)."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    if not ys:
+        return "(empty series)"
+    top = max(ys)
+    lines = []
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(round(width * (y / top)))) if top > 0 else ""
+        lines.append(f"{format_cell(x):>12} | {bar} {format_cell(y)}")
+    return "\n".join(lines)

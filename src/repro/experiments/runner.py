@@ -1,0 +1,118 @@
+"""Repeated-trial measurement of tester behaviour.
+
+The testing model's guarantees are probabilistic (success w.p. ≥ 2/3), so
+every experiment reduces to estimating an acceptance probability over
+independent trials — with fresh sample streams, and fresh instances when
+the workload itself is randomised.  This module is that loop, with Wilson
+confidence intervals and exact sample accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.sampling import SampleSource
+from repro.util.rng import RandomState, ensure_rng, spawn_rngs
+from repro.util.stats import wilson_interval
+
+#: A workload is either a fixed distribution or a per-trial factory.
+Workload = Union[DiscreteDistribution, Callable[[np.random.Generator], DiscreteDistribution]]
+
+#: A tester is any callable judging a sample source.
+Tester = Callable[[SampleSource], bool]
+
+
+@dataclass(frozen=True)
+class AcceptanceEstimate:
+    """Estimated acceptance probability of a tester on a workload."""
+
+    accepted: int
+    trials: int
+    rate: float
+    ci_low: float
+    ci_high: float
+    mean_samples: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.accepted}/{self.trials} accepted "
+            f"(rate {self.rate:.2f}, 99% CI [{self.ci_low:.2f}, {self.ci_high:.2f}], "
+            f"~{self.mean_samples:,.0f} samples/trial)"
+        )
+
+
+def _materialise(workload: Workload, gen: np.random.Generator) -> DiscreteDistribution:
+    if isinstance(workload, DiscreteDistribution):
+        return workload
+    return workload(gen)
+
+
+def acceptance_probability(
+    workload: Workload,
+    tester: Tester,
+    trials: int,
+    rng: RandomState = None,
+) -> AcceptanceEstimate:
+    """Run ``trials`` independent tests and estimate the acceptance rate.
+
+    Each trial gets an independent RNG stream (instance draw and sample
+    stream both), so trials are exchangeable and the binomial analysis of
+    the confidence interval is exact.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    streams = spawn_rngs(rng, trials)
+    accepted = 0
+    total_samples = 0.0
+    for gen in streams:
+        dist = _materialise(workload, gen)
+        source = SampleSource(dist, gen)
+        if tester(source):
+            accepted += 1
+        total_samples += source.samples_drawn
+    rate = accepted / trials
+    low, high = wilson_interval(accepted, trials)
+    return AcceptanceEstimate(
+        accepted=accepted,
+        trials=trials,
+        rate=rate,
+        ci_low=low,
+        ci_high=high,
+        mean_samples=total_samples / trials,
+    )
+
+
+def rejection_probability(
+    workload: Workload,
+    tester: Tester,
+    trials: int,
+    rng: RandomState = None,
+) -> AcceptanceEstimate:
+    """Like :func:`acceptance_probability` but counting rejections."""
+    estimate = acceptance_probability(workload, tester, trials, rng)
+    low, high = wilson_interval(estimate.trials - estimate.accepted, estimate.trials)
+    return AcceptanceEstimate(
+        accepted=estimate.trials - estimate.accepted,
+        trials=estimate.trials,
+        rate=1.0 - estimate.rate,
+        ci_low=low,
+        ci_high=high,
+        mean_samples=estimate.mean_samples,
+    )
+
+
+def success_probability(
+    workload: Workload,
+    tester: Tester,
+    should_accept: bool,
+    trials: int,
+    rng: RandomState = None,
+) -> AcceptanceEstimate:
+    """Acceptance or rejection rate, whichever counts as success."""
+    if should_accept:
+        return acceptance_probability(workload, tester, trials, rng)
+    return rejection_probability(workload, tester, trials, rng)

@@ -1,0 +1,124 @@
+"""Parameter sweeps of empirical sample complexity.
+
+The scaling experiments (E4–E6) all do the same thing: fix two of
+``(n, k, ε)``, sweep the third, and measure the empirical sample complexity
+at each point via the bisection of
+:mod:`repro.experiments.estimate`.  This module is that loop as a reusable
+API, including the power-law fit used to summarise a sweep's shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.config import TesterConfig
+from repro.core.tester import test_histogram
+from repro.distributions import families
+from repro.distributions.discrete import DiscreteDistribution
+from repro.experiments.estimate import ComplexityEstimate, empirical_sample_complexity
+from repro.util.rng import RandomState, ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a complexity sweep."""
+
+    n: int
+    k: int
+    eps: float
+    estimate: ComplexityEstimate
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full sweep plus its fitted power-law exponent."""
+
+    axis: str
+    points: list[SweepPoint]
+    exponent: float  # slope of log(samples) vs log(axis value)
+
+    def axis_values(self) -> list[float]:
+        return [getattr(p, self.axis) for p in self.points]
+
+    def samples(self) -> list[float]:
+        return [p.estimate.samples for p in self.points]
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching points")
+    lx, ly = np.log(np.asarray(xs, dtype=float)), np.log(np.asarray(ys, dtype=float))
+    slope = float(np.polyfit(lx, ly, 1)[0])
+    return slope
+
+
+def _default_workloads(
+    n: int, k: int, eps: float
+) -> tuple[Callable, Callable]:
+    complete = lambda g: families.staircase(n, k).to_distribution()
+    far = lambda g: families.far_from_hk(n, k, eps, g)
+    return complete, far
+
+
+def complexity_sweep(
+    axis: str,
+    values: Sequence[float],
+    *,
+    n: int = 4000,
+    k: int = 4,
+    eps: float = 0.3,
+    config: TesterConfig | None = None,
+    trials: int = 9,
+    bisection_steps: int = 5,
+    workloads: Callable[[int, int, float], tuple[Callable, Callable]] | None = None,
+    rng: RandomState = None,
+) -> SweepResult:
+    """Sweep one axis (``"n"``, ``"k"`` or ``"eps"``) of the tester's
+    empirical sample complexity; other parameters stay fixed.
+
+    ``workloads(n, k, eps) -> (complete_factory, far_factory)`` customises
+    the instances (defaults: staircase / certified sawtooth).
+    """
+    if axis not in ("n", "k", "eps"):
+        raise ValueError(f"axis must be one of n/k/eps, got {axis!r}")
+    if not values:
+        raise ValueError("need at least one axis value")
+    if config is None:
+        config = TesterConfig.practical()
+    make_workloads = workloads if workloads is not None else _default_workloads
+    streams = spawn_rngs(rng, len(values))
+
+    points: list[SweepPoint] = []
+    for value, stream in zip(values, streams):
+        cur_n, cur_k, cur_eps = n, k, eps
+        if axis == "n":
+            cur_n = int(value)
+        elif axis == "k":
+            cur_k = int(value)
+        else:
+            cur_eps = float(value)
+        complete, far = make_workloads(cur_n, cur_k, cur_eps)
+        family = lambda scale, cur_k=cur_k, cur_eps=cur_eps: (
+            lambda src: test_histogram(
+                src, cur_k, cur_eps, config=config.scaled(scale)
+            ).accept
+        )
+        estimate = empirical_sample_complexity(
+            family,
+            complete=complete,
+            far=far,
+            trials=trials,
+            bisection_steps=bisection_steps,
+            rng=stream,
+        )
+        points.append(SweepPoint(n=cur_n, k=cur_k, eps=cur_eps, estimate=estimate))
+
+    xs = [float(getattr(p, axis)) for p in points]
+    ys = [p.estimate.samples for p in points]
+    exponent = fit_power_law(xs, ys) if len(points) >= 2 else math.nan
+    return SweepResult(axis=axis, points=points, exponent=exponent)

@@ -1,0 +1,162 @@
+"""Named workloads — the scenarios the experiments (and examples) run on.
+
+The paper's motivation is database-flavoured (histograms as selectivity
+summaries, [Koo80, PIHS96, JKM+98, …]); the registry mirrors that: each
+workload is an attribute-value distribution a query optimiser might meet,
+tagged with its ground truth relative to ``H_k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.distributions import families
+from repro.distributions.discrete import DiscreteDistribution
+from repro.util.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, reproducible distribution scenario."""
+
+    name: str
+    description: str
+    #: ``factory(n, k, eps, rng)`` — instantiate at the experiment's scale.
+    factory: Callable[[int, int, float, np.random.Generator], DiscreteDistribution]
+    #: Whether the instance is in ``H_k`` ("complete"), certified ε-far
+    #: ("far"), or in between ("ambiguous" — excluded from pass/fail stats).
+    nature: str
+
+
+def _staircase(n: int, k: int, eps: float, gen: np.random.Generator) -> DiscreteDistribution:
+    return families.staircase(n, k).to_distribution()
+
+
+def _random_hist(n: int, k: int, eps: float, gen: np.random.Generator) -> DiscreteDistribution:
+    return families.random_histogram(n, k, gen, min_width=max(1, n // (8 * k))).to_distribution()
+
+
+def _spiky_hist(n: int, k: int, eps: float, gen: np.random.Generator) -> DiscreteDistribution:
+    return families.random_histogram(n, k, gen, concentration=0.3).to_distribution()
+
+
+def _uniform(n: int, k: int, eps: float, gen: np.random.Generator) -> DiscreteDistribution:
+    return families.uniform(n)
+
+
+def _sawtooth_uniform(n: int, k: int, eps: float, gen: np.random.Generator) -> DiscreteDistribution:
+    return families.far_from_hk(n, k, eps, gen)
+
+
+def _sawtooth_staircase(n: int, k: int, eps: float, gen: np.random.Generator) -> DiscreteDistribution:
+    # Perturb a coarse histogram (k//2 pieces keeps enough perturbable pairs)
+    base = families.staircase(n, max(1, k // 2), ratio=1.5)
+    return families.far_from_hk(n, k, eps, gen, base=base)
+
+
+def _paninski(n: int, k: int, eps: float, gen: np.random.Generator) -> DiscreteDistribution:
+    from repro.lowerbounds.paninski import paninski_instance
+
+    even_n = n - (n % 2)
+    c = min(6.0, 0.9 / eps)
+    return paninski_instance(even_n, eps, gen, c=c).embed(n)
+
+
+def _zipf(n: int, k: int, eps: float, gen: np.random.Generator) -> DiscreteDistribution:
+    return families.zipf(n, alpha=1.0)
+
+
+def _bimodal(n: int, k: int, eps: float, gen: np.random.Generator) -> DiscreteDistribution:
+    return families.discretized_gaussian_mixture(
+        n, centers=[0.25, 0.7], widths=[0.05, 0.1], weights=[0.45, 0.55]
+    )
+
+
+#: The registry.  "complete" workloads are exact k-histograms; "far"
+#: workloads are certified ε-far from H_k by construction; "ambiguous"
+#: workloads have ground truth depending on (n, k, ε) and are used with
+#: explicitly computed distances.
+REGISTRY: dict[str, Workload] = {
+    w.name: w
+    for w in [
+        Workload(
+            "uniform",
+            "flat attribute (e.g. hash-distributed keys); the 1-histogram",
+            _uniform,
+            "complete",
+        ),
+        Workload(
+            "staircase",
+            "price-band style attribute: k geometric steps",
+            _staircase,
+            "complete",
+        ),
+        Workload(
+            "random-histogram",
+            "random k-piece attribute profile (Dirichlet masses)",
+            _random_hist,
+            "complete",
+        ),
+        Workload(
+            "spiky-histogram",
+            "random k-piece profile with concentrated (spiky) masses",
+            _spiky_hist,
+            "complete",
+        ),
+        Workload(
+            "sawtooth-uniform",
+            "paired ±δ perturbation of uniform; certified ε-far from H_k",
+            _sawtooth_uniform,
+            "far",
+        ),
+        Workload(
+            "sawtooth-staircase",
+            "paired perturbation of a coarse staircase; certified ε-far",
+            _sawtooth_staircase,
+            "far",
+        ),
+        Workload(
+            "paninski",
+            "the Q_ε lower-bound family (far from H_k for k < n/3)",
+            _paninski,
+            "far",
+        ),
+        Workload(
+            "zipf",
+            "Zipfian product popularity (smooth decay; distance to H_k varies)",
+            _zipf,
+            "ambiguous",
+        ),
+        Workload(
+            "bimodal",
+            "two-segment customer-age mixture (smooth; distance varies)",
+            _bimodal,
+            "ambiguous",
+        ),
+    ]
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name (raising with the available names)."""
+    if name not in REGISTRY:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(REGISTRY)}")
+    return REGISTRY[name]
+
+
+def make(name: str, n: int, k: int, eps: float, rng: RandomState = None) -> DiscreteDistribution:
+    """Instantiate a named workload at the given scale."""
+    return get_workload(name).factory(n, k, eps, ensure_rng(rng))
+
+
+def completeness_workloads() -> list[Workload]:
+    """All workloads whose instances are exact k-histograms."""
+    return [w for w in REGISTRY.values() if w.nature == "complete"]
+
+
+def soundness_workloads() -> list[Workload]:
+    """All workloads whose instances are certified ε-far from ``H_k``."""
+    return [w for w in REGISTRY.values() if w.nature == "far"]

@@ -1,0 +1,18 @@
+"""Histogram learning: agnostic merge learner and model selection."""
+
+from repro.learning.merge import (
+    histogram_from_counts,
+    learn_histogram_agnostic,
+    merge_learner_samples,
+    quantile_partition,
+)
+from repro.learning.model_selection import ModelSelectionResult, select_k
+
+__all__ = [
+    "ModelSelectionResult",
+    "histogram_from_counts",
+    "learn_histogram_agnostic",
+    "merge_learner_samples",
+    "quantile_partition",
+    "select_k",
+]

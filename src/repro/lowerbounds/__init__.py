@@ -1,0 +1,41 @@
+"""The Section 4 lower-bound constructions (Theorem 1.2)."""
+
+from repro.lowerbounds.paninski import (
+    DistinguishingResult,
+    critical_sample_size,
+    distinguishing_experiment,
+    expected_pair_statistic,
+    pair_statistic,
+    paninski_distance_lower_bound,
+    paninski_instance,
+)
+from repro.lowerbounds.support_size import (
+    REDUCTION_EPSILON,
+    CoverExperiment,
+    SuppSizeInstance,
+    cover_experiment,
+    expected_cover,
+    permuted_cover,
+    reduction_parameters,
+    solve_suppsize_via_tester,
+    suppsize_instance,
+)
+
+__all__ = [
+    "REDUCTION_EPSILON",
+    "CoverExperiment",
+    "DistinguishingResult",
+    "SuppSizeInstance",
+    "cover_experiment",
+    "critical_sample_size",
+    "distinguishing_experiment",
+    "expected_cover",
+    "expected_pair_statistic",
+    "pair_statistic",
+    "paninski_distance_lower_bound",
+    "paninski_instance",
+    "permuted_cover",
+    "reduction_parameters",
+    "solve_suppsize_via_tester",
+    "suppsize_instance",
+]

@@ -1,0 +1,163 @@
+"""Proposition 4.2 — the ``Ω(k/(ε log k))`` bound via support-size estimation.
+
+The reduction (Section 4.2): a tester for ``H_k`` can solve the promise
+problem ``SUPPSIZE_m`` — given ``D ∈ Δ([m])`` with every probability in
+``{0} ∪ [1/m, 1]``, decide ``supp(D) ≤ m/3`` vs ``supp(D) ≥ 7m/8`` — by
+
+1. embedding ``[m]`` into a larger domain ``[n]``;
+2. relabeling by a uniformly random permutation ``σ``;
+3. running the histogram tester with ``k = 2⌈m/3⌉ + 1`` and ``ε₁ = 1/24``.
+
+Small support ⇒ the permuted distribution is a ``k``-histogram with
+probability one.  Large support ⇒ by **Lemma 4.4** a random permutation
+keeps the support "sprinkled" (``cover(σ(S)) > 6ℓ/7`` w.p. ≥ 1 − 7ℓ/n), so
+the permuted distribution needs ≫ k pieces and sits at constant TV distance
+from ``H_k``.  Since ``SUPPSIZE_m`` needs ``Ω(m/log m)`` samples ([VV10]),
+so does testing ``H_k``.
+
+This module builds the promise instances, runs the reduction with any
+tester, and Monte-Carlo-verifies Lemma 4.4 (experiment E9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.sampling import SampleSource
+from repro.util.intervals import cover
+from repro.util.rng import RandomState, child_rng, ensure_rng
+from repro.util.stats import majority
+
+#: The reduction's distance parameter (Section 4.2): ε₁ = 1/24.
+REDUCTION_EPSILON = 1.0 / 24.0
+
+
+@dataclass(frozen=True)
+class SuppSizeInstance:
+    """A ``SUPPSIZE_m`` promise instance."""
+
+    dist: DiscreteDistribution
+    m: int
+    support_size: int
+    is_small: bool  # True: supp <= m/3; False: supp >= 7m/8
+
+
+def suppsize_instance(
+    m: int, small: bool, rng: RandomState = None, *, contiguous: bool = False
+) -> SuppSizeInstance:
+    """Build a promise instance: uniform over a support of the promised size.
+
+    All non-zero probabilities equal ``1/s ≥ 1/m``, meeting the promise.
+    ``contiguous`` places the support on a prefix (the adversarially *easy*
+    layout — the random permutation of the reduction destroys it anyway).
+    """
+    if m < 8:
+        raise ValueError(f"m must be at least 8, got {m}")
+    gen = ensure_rng(rng)
+    size = m // 3 if small else (7 * m) // 8
+    size = max(1, size)
+    pmf = np.zeros(m)
+    if contiguous:
+        points = np.arange(size)
+    else:
+        points = gen.choice(m, size=size, replace=False)
+    pmf[points] = 1.0 / size
+    return SuppSizeInstance(
+        dist=DiscreteDistribution(pmf, validate=False),
+        m=m,
+        support_size=size,
+        is_small=small,
+    )
+
+
+def reduction_parameters(k: int) -> tuple[int, float]:
+    """``(m, ε₁)`` for reducing ``SUPPSIZE_m`` to testing ``H_k``:
+    ``m = ⌈3(k−1)/2⌉`` (so that ``k = 2m/3 + 1``-ish), ``ε₁ = 1/24``."""
+    if k < 3:
+        raise ValueError(f"reduction needs k >= 3, got {k}")
+    m = math.ceil(1.5 * (k - 1))
+    return m, REDUCTION_EPSILON
+
+
+def solve_suppsize_via_tester(
+    instance: SuppSizeInstance,
+    n: int,
+    tester: Callable[[SampleSource, int, float], bool],
+    *,
+    repeats: int = 3,
+    rng: RandomState = None,
+) -> bool:
+    """Run the reduction; returns the guess for "support is small".
+
+    ``tester(source, k, eps) -> accept`` is any k-histogram tester (accept
+    ⇒ histogram).  Each repetition draws a fresh permutation and fresh
+    samples; the final answer is the majority vote, exactly as in the
+    proposition.
+    """
+    if n < instance.m:
+        raise ValueError(f"need n >= m, got n={n} < m={instance.m}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    gen = ensure_rng(rng)
+    k = 2 * (instance.m // 3) + 1
+    embedded = instance.dist.embed(n)
+    votes = []
+    for _ in range(repeats):
+        sigma = gen.permutation(n)
+        source = SampleSource(embedded.permute(sigma), child_rng(gen))
+        votes.append(tester(source, k, REDUCTION_EPSILON))
+    return majority(votes)
+
+
+def permuted_cover(support: np.ndarray, n: int, rng: RandomState = None) -> int:
+    """``cover(σ(S))`` for one uniformly random permutation ``σ`` of [n]."""
+    gen = ensure_rng(rng)
+    support = np.asarray(support, dtype=np.int64)
+    sigma = gen.permutation(n)
+    return cover(sigma[support], n)
+
+
+@dataclass(frozen=True)
+class CoverExperiment:
+    """Monte-Carlo estimate vs the Lemma 4.4 bound."""
+
+    n: int
+    ell: int
+    trials: int
+    empirical_probability: float
+    lemma_bound: float
+    mean_cover: float
+
+
+def cover_experiment(
+    n: int, ell: int, trials: int, rng: RandomState = None
+) -> CoverExperiment:
+    """Estimate ``Pr[cover(σ(S)) ≤ 6ℓ/7]`` for ``|S| = ℓ`` against the
+    Lemma 4.4 bound ``7ℓ/n`` (the bound is permutation-invariant in ``S``,
+    so a prefix support is taken WLOG)."""
+    if not 1 <= ell <= n:
+        raise ValueError(f"need 1 <= ell <= n, got ell={ell}, n={n}")
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    gen = ensure_rng(rng)
+    support = np.arange(ell)
+    cutoff = 6 * ell / 7
+    covers = np.array([permuted_cover(support, n, gen) for _ in range(trials)])
+    return CoverExperiment(
+        n=n,
+        ell=ell,
+        trials=trials,
+        empirical_probability=float(np.mean(covers <= cutoff)),
+        lemma_bound=min(1.0, 7.0 * ell / n),
+        mean_cover=float(covers.mean()),
+    )
+
+
+def expected_cover(ell: int, n: int) -> float:
+    """``E[cover(σ(S))] ≥ E[X] = ℓ(1 − ℓ/n)`` (the proof's border-count)."""
+    return ell * (1.0 - ell / n)

@@ -1,0 +1,6 @@
+"""Shared utilities: RNG plumbing, interval algebra, statistical helpers."""
+
+from repro.util.intervals import Interval, Partition
+from repro.util.rng import RandomState, ensure_rng, spawn_rngs
+
+__all__ = ["Interval", "Partition", "RandomState", "ensure_rng", "spawn_rngs"]

@@ -1,0 +1,128 @@
+"""Statistical helpers shared across the library.
+
+Mostly small, exact tail-bound computations used to (a) size trial counts in
+the statistical test-suite so flake probabilities are provably negligible,
+and (b) implement the standard median-amplification trick the paper invokes
+("repeating the test and taking the median value").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def binomial_tail_below(n: int, p: float, k: int) -> float:
+    """``P[Bin(n, p) <= k]`` computed in log-space (exact, no scipy needed)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be a probability, got {p}")
+    if k < 0:
+        return 0.0
+    if k >= n:
+        return 1.0
+    if p == 0.0:
+        return 1.0
+    if p == 1.0:
+        return 0.0
+    log_p, log_q = math.log(p), math.log1p(-p)
+    total = 0.0
+    for i in range(k + 1):
+        log_term = (
+            math.lgamma(n + 1)
+            - math.lgamma(i + 1)
+            - math.lgamma(n - i + 1)
+            + i * log_p
+            + (n - i) * log_q
+        )
+        total += math.exp(log_term)
+    return min(total, 1.0)
+
+
+def binomial_tail_above(n: int, p: float, k: int) -> float:
+    """``P[Bin(n, p) >= k]``."""
+    if k <= 0:
+        return 1.0
+    return max(0.0, 1.0 - binomial_tail_below(n, p, k - 1))
+
+
+def chernoff_flake_bound(trials: int, success_p: float, threshold: float) -> float:
+    """Probability a ``success_p``-coin, flipped ``trials`` times, yields an
+    empirical rate on the wrong side of ``threshold``.
+
+    Used by the statistical tests to document their flake probability: when
+    a tester guarantees success probability ``success_p`` and the test
+    asserts the empirical rate clears ``threshold``, this is the chance the
+    assertion fails even though the implementation is correct.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    cutoff = math.floor(threshold * trials)
+    if success_p >= threshold:
+        return binomial_tail_below(trials, success_p, cutoff)
+    return binomial_tail_above(trials, success_p, cutoff + 1)
+
+
+def amplification_repeats(delta: float, base_success: float = 2.0 / 3.0) -> int:
+    """Number of independent repetitions so a majority vote errs w.p. <= delta.
+
+    Standard Chernoff-based amplification: a test with success probability
+    ``base_success > 1/2``, repeated ``r`` times with a majority vote, fails
+    with probability ``exp(-2 r (base_success - 1/2)^2)``.  Returns the
+    smallest odd ``r`` meeting the target (odd avoids ties).
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if not 0.5 < base_success <= 1.0:
+        raise ValueError(f"base success must exceed 1/2, got {base_success}")
+    gap = base_success - 0.5
+    r = max(1, math.ceil(math.log(1.0 / delta) / (2.0 * gap * gap)))
+    return r if r % 2 == 1 else r + 1
+
+
+def majority(verdicts: Sequence[bool]) -> bool:
+    """Strict majority vote (ties count as rejection)."""
+    votes = list(verdicts)
+    if not votes:
+        raise ValueError("cannot take a majority of zero verdicts")
+    return sum(votes) * 2 > len(votes)
+
+
+def median_of_repeats(draw: Callable[[], float], repeats: int) -> float:
+    """Median of ``repeats`` calls to ``draw`` (the paper's amplification)."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    return float(np.median([draw() for _ in range(repeats)]))
+
+
+def wilson_interval(successes: int, trials: int, z: float = 2.576) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion (default 99%)."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (phat + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def poisson_tail_factor(mean: float, delta: float) -> float:
+    """A sample count ``m'`` such that ``Poisson(m') >= mean`` w.p. >= 1-delta.
+
+    Used when converting Poissonized sample budgets back to fixed budgets:
+    drawing ``m'`` samples guarantees at least ``mean`` with high probability
+    (Poisson lower-tail Chernoff bound, solved numerically).
+    """
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    # P[Poisson(lam) <= mean] <= exp(-(lam - mean)^2 / (2 lam)) for lam > mean.
+    lam = mean
+    target = 2.0 * math.log(1.0 / delta)
+    while (lam - mean) ** 2 / lam < target:
+        lam *= 1.05
+    return lam

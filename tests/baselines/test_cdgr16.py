@@ -1,0 +1,69 @@
+"""Tests for the CDGR16-style testing-by-learning baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cdgr16 import cdgr16_budget_practical, cdgr16_test
+from repro.distributions import families
+
+
+N, K, EPS = 4096, 5, 0.3
+
+
+class TestBudget:
+    def test_scalings(self):
+        assert cdgr16_budget_practical(N, K, 0.1) > cdgr16_budget_practical(N, K, 0.3)
+        assert cdgr16_budget_practical(4 * N, K, EPS) == pytest.approx(
+            2.2 * cdgr16_budget_practical(N, K, EPS), rel=0.15
+        )  # sqrt(n)·log n growth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cdgr16_budget_practical(1, K, EPS)
+
+
+class TestCompleteness:
+    def test_staircase(self):
+        dist = families.staircase(N, K).to_distribution()
+        hits = sum(cdgr16_test(dist, K, EPS, rng=s).accept for s in range(10))
+        assert hits >= 7
+
+    def test_uniform(self):
+        hits = sum(cdgr16_test(families.uniform(N), 1, EPS, rng=s).accept for s in range(10))
+        assert hits >= 7
+
+
+class TestSoundness:
+    def test_sawtooth_caught_by_collisions(self):
+        hits = 0
+        for s in range(10):
+            dist = families.far_from_hk(N, K, EPS, rng=s)
+            hits += not cdgr16_test(dist, K, EPS, rng=100 + s).accept
+        assert hits >= 7
+
+    def test_mass_displacement_caught_by_ak(self):
+        # A 16-step strong staircase vs k=2: interval-level displacement.
+        dist = families.staircase(N, 16, ratio=2.0).to_distribution()
+        from repro.distributions.projection import coarse_flattening_projection
+        from repro.util.intervals import Partition
+
+        hits = sum(not cdgr16_test(dist, 2, 0.2, rng=s).accept for s in range(10))
+        assert hits >= 7
+
+
+class TestMechanics:
+    def test_verdict_fields(self):
+        v = cdgr16_test(families.uniform(N), 2, EPS, rng=0)
+        assert v.ak_threshold > 0 and v.collision_threshold > 0
+        assert v.learned.num_pieces <= 2
+        assert v.samples_used > 0
+
+    def test_explicit_samples(self):
+        v = cdgr16_test(families.uniform(N), 2, EPS, num_samples=4000, rng=1)
+        assert v.samples_used > 4000  # learning stage comes on top
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cdgr16_test(families.uniform(N), 0, EPS)
+        with pytest.raises(ValueError):
+            cdgr16_test(families.uniform(N), 2, 1.5)

@@ -1,0 +1,72 @@
+"""Tests for the ILR12-style bisection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ilr12 import ilr12_budget_practical, ilr12_test
+from repro.distributions import families
+
+
+N, K, EPS = 4096, 5, 0.3
+
+
+class TestBudget:
+    def test_formula_scalings(self):
+        assert ilr12_budget_practical(4 * N, K, EPS) > ilr12_budget_practical(N, K, EPS)
+        assert ilr12_budget_practical(N, K, 0.1) > ilr12_budget_practical(N, K, 0.3)
+        with pytest.raises(ValueError):
+            ilr12_budget_practical(1, K, EPS)
+
+
+class TestCompleteness:
+    def test_staircase(self):
+        dist = families.staircase(N, K).to_distribution()
+        hits = sum(ilr12_test(dist, K, EPS, rng=s).accept for s in range(12))
+        assert hits >= 9
+
+    def test_uniform(self):
+        hits = sum(ilr12_test(families.uniform(N), 1, EPS, rng=s).accept for s in range(12))
+        assert hits >= 9
+
+    def test_random_histograms(self):
+        hits = 0
+        for s in range(12):
+            gen = np.random.default_rng(s)
+            dist = families.random_histogram(N, K, gen, min_width=N // (8 * K)).to_distribution()
+            hits += ilr12_test(dist, K, EPS, rng=gen).accept
+        assert hits >= 9
+
+
+class TestSoundness:
+    def test_sawtooth(self):
+        hits = 0
+        for s in range(12):
+            dist = families.far_from_hk(N, K, EPS, rng=s)
+            hits += not ilr12_test(dist, K, EPS, rng=100 + s).accept
+        assert hits >= 9
+
+    def test_strong_comb_vs_k1(self):
+        dist = families.two_level_comb(N, teeth=64, contrast=4.0)
+        hits = sum(not ilr12_test(dist, 1, EPS, rng=s).accept for s in range(12))
+        assert hits >= 9
+
+
+class TestMechanics:
+    def test_trivial_k(self):
+        v = ilr12_test(families.uniform(16), 16, 0.5, rng=0)
+        assert v.accept
+
+    def test_verdict_fields(self):
+        v = ilr12_test(families.staircase(N, K).to_distribution(), K, EPS, rng=1)
+        assert v.flat_leaves <= v.leaf_budget
+        assert v.samples_used > 0
+
+    def test_explicit_sample_budget(self):
+        v = ilr12_test(families.uniform(N), 1, EPS, num_samples=5000, rng=2)
+        assert v.samples_used == 5000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ilr12_test(families.uniform(N), 0, EPS)
+        with pytest.raises(ValueError):
+            ilr12_test(families.uniform(N), 2, 0.0)

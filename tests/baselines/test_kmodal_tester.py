@@ -1,0 +1,71 @@
+"""Tests for the reduction-based k-modality tester."""
+
+import pytest
+
+from repro.baselines.kmodal_tester import test_k_modal
+from repro.distributions import families
+from repro.distributions.kmodal import random_k_modal
+from repro.distributions.sampling import SampleSource
+
+N, EPS = 2500, 0.3
+
+
+class TestCompleteness:
+    def test_monotone_at_k0(self):
+        dist = families.staircase(N, 8, ratio=1.6).to_distribution()
+        hits = sum(test_k_modal(dist, 0, EPS, rng=s).accept for s in range(8))
+        assert hits >= 6
+
+    def test_uniform_at_k0(self):
+        assert test_k_modal(families.uniform(N), 0, EPS, rng=0).accept
+
+    def test_random_k_modal(self):
+        hits = 0
+        for s in range(8):
+            dist = random_k_modal(N, 2, rng=s)
+            hits += test_k_modal(dist, 3, EPS, rng=100 + s).accept
+        assert hits >= 6
+
+    def test_bimodal_mixture(self):
+        dist = families.discretized_gaussian_mixture(N, [0.3, 0.7], [0.05, 0.08])
+        hits = sum(test_k_modal(dist, 3, EPS, rng=s).accept for s in range(8))
+        assert hits >= 6
+
+
+class TestSoundness:
+    def test_sawtooth_far_from_k_modal(self):
+        # Pairwise alternation is far from every O(1)-modal distribution.
+        hits = 0
+        for s in range(8):
+            dist = families.far_from_hk(N, 50, EPS, rng=s)
+            hits += not test_k_modal(dist, 3, EPS, rng=200 + s).accept
+        assert hits >= 6
+
+    def test_strong_multimodal_vs_k0(self):
+        # 8 strong humps tested for monotonicity.
+        dist = families.discretized_gaussian_mixture(
+            N,
+            centers=[0.1, 0.22, 0.35, 0.47, 0.6, 0.72, 0.85, 0.95],
+            widths=[0.02] * 8,
+        )
+        hits = sum(not test_k_modal(dist, 0, EPS, rng=s).accept for s in range(8))
+        assert hits >= 6
+
+
+class TestMechanics:
+    def test_verdict_fields(self):
+        v = test_k_modal(families.uniform(N), 1, EPS, rng=0)
+        assert v.pieces_tested >= 1
+        assert v.histogram_verdict is not None
+        assert v.samples_used > 0
+
+    def test_budget_accounting(self):
+        src = SampleSource(families.uniform(N), rng=1)
+        v = test_k_modal(src, 0, EPS)
+        assert v.samples_used == pytest.approx(src.samples_drawn)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            test_k_modal(families.uniform(N), -1, EPS)
+        with pytest.raises(ValueError):
+            test_k_modal(families.uniform(N), 1, 0.0)

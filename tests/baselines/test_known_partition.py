@@ -1,0 +1,71 @@
+"""Tests for the known-partition (DK16 setting) tester."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.known_partition import known_partition_budget, test_known_partition
+from repro.distributions import families
+from repro.distributions.discrete import DiscreteDistribution
+from repro.util.intervals import Partition
+
+
+N, EPS = 2000, 0.3
+
+
+class TestKnownPartition:
+    def test_accepts_aligned_histogram(self):
+        hist = families.staircase(N, 6)
+        dist = hist.to_distribution()
+        hits = sum(
+            test_known_partition(dist, hist.partition, EPS, rng=s).accept for s in range(10)
+        )
+        assert hits >= 8
+
+    def test_accepts_coarser_truth(self):
+        # D constant everywhere is a histogram on ANY partition.
+        part = Partition.equal_width(N, 9)
+        hits = sum(
+            test_known_partition(families.uniform(N), part, EPS, rng=s).accept
+            for s in range(10)
+        )
+        assert hits >= 8
+
+    def test_rejects_misaligned(self):
+        # Strong steps misaligned with the given partition.
+        hist = families.staircase(N, 8, ratio=3.0)
+        # Offset partition: borders shifted by half a band.
+        shift = N // 16
+        bounds = np.clip(hist.partition.boundaries + shift, 0, N)
+        bounds[0], bounds[-1] = 0, N
+        part = Partition(np.unique(bounds))
+        dist = hist.to_distribution()
+        hits = sum(
+            not test_known_partition(dist, part, EPS, rng=s).accept for s in range(10)
+        )
+        assert hits >= 8
+
+    def test_rejects_sawtooth_within_pieces(self):
+        part = Partition.equal_width(N, 4)
+        dist = families.far_from_hk(N, 4, EPS, rng=0)
+        hits = sum(
+            not test_known_partition(dist, part, EPS, rng=s).accept for s in range(10)
+        )
+        assert hits >= 8
+
+    def test_budget_cheaper_than_full_problem(self):
+        from repro.core.budget import algorithm1_budget
+
+        assert known_partition_budget(10**6, 8, 0.2) < algorithm1_budget(10**6, 8, 0.2)
+
+    def test_fields_and_accounting(self):
+        hist = families.staircase(N, 3)
+        v = test_known_partition(hist.to_distribution(), hist.partition, EPS, rng=1)
+        assert v.samples_used > 0
+        assert v.learned.partition == hist.partition
+
+    def test_validation(self):
+        part = Partition.equal_width(100, 4)
+        with pytest.raises(ValueError):
+            test_known_partition(families.uniform(100), part, 0.0)
+        with pytest.raises(ValueError):
+            test_known_partition(families.uniform(200), part, 0.3)

@@ -1,0 +1,95 @@
+"""Tests for the collision/ℓ2 substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.l2 import (
+    collision_count,
+    conditional_flatness_test,
+    l2_norm_squared_estimate,
+    uniformity_l2_gap,
+)
+from repro.distributions.discrete import DiscreteDistribution
+
+
+class TestCollisionCount:
+    def test_known_values(self):
+        assert collision_count(np.array([2, 0, 1])) == 1.0
+        assert collision_count(np.array([3, 3])) == 6.0
+        assert collision_count(np.array([1, 1, 1])) == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            collision_count(np.array([-1, 2]))
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=20))
+    @settings(max_examples=60)
+    def test_matches_pair_enumeration(self, counts):
+        counts = np.asarray(counts)
+        expected = sum(c * (c - 1) // 2 for c in counts)
+        assert collision_count(counts) == expected
+
+
+class TestL2Estimate:
+    def test_unbiased_for_uniform(self):
+        """E[estimate] = ||D||^2; averaged over batches (flake < 1e-6 at
+        these margins)."""
+        n, m = 50, 400
+        d = DiscreteDistribution.uniform(n)
+        gen = np.random.default_rng(0)
+        estimates = [
+            l2_norm_squared_estimate(d.sample_counts(m, gen)) for _ in range(300)
+        ]
+        assert np.mean(estimates) == pytest.approx(1.0 / n, rel=0.1)
+
+    def test_unbiased_for_skewed(self):
+        pmf = np.array([0.5, 0.25, 0.25])
+        d = DiscreteDistribution(pmf)
+        gen = np.random.default_rng(1)
+        estimates = [
+            l2_norm_squared_estimate(d.sample_counts(200, gen)) for _ in range(300)
+        ]
+        assert np.mean(estimates) == pytest.approx(float(pmf @ pmf), rel=0.05)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            l2_norm_squared_estimate(np.array([1, 0]))
+
+
+class TestFlatness:
+    def test_gap_zero_for_uniform_in_expectation(self):
+        n, m = 20, 500
+        d = DiscreteDistribution.uniform(n)
+        gen = np.random.default_rng(2)
+        gaps = [uniformity_l2_gap(d.sample_counts(m, gen), n) for _ in range(200)]
+        assert abs(np.mean(gaps)) < 0.2 / n
+
+    def test_gap_positive_for_spiky(self):
+        pmf = np.zeros(20)
+        pmf[0] = 1.0
+        d = DiscreteDistribution(pmf)
+        gap = uniformity_l2_gap(d.sample_counts(100, rng=0), 20)
+        assert gap == pytest.approx(1.0 - 1 / 20)
+
+    def test_conditional_flatness_accepts_flat(self):
+        d = DiscreteDistribution.uniform(64)
+        counts = d.sample_counts(5000, rng=3)
+        assert conditional_flatness_test(counts, 64, tolerance=1.0 / 64)
+
+    def test_conditional_flatness_rejects_spike(self):
+        pmf = np.full(64, 0.5 / 63)
+        pmf[10] = 0.5
+        pmf /= pmf.sum()
+        counts = DiscreteDistribution(pmf).sample_counts(5000, rng=4)
+        assert not conditional_flatness_test(counts, 64, tolerance=1.0 / 64)
+
+    def test_too_few_samples_defaults_flat(self):
+        assert conditional_flatness_test(np.array([1, 0]), 2, tolerance=0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniformity_l2_gap(np.array([2, 2]), 0)
+        with pytest.raises(ValueError):
+            conditional_flatness_test(np.array([2, 2]), 2, tolerance=-1.0)

@@ -1,0 +1,74 @@
+"""Tests for the Θ(n)-sample plug-in baseline."""
+
+import pytest
+
+from repro.baselines.learn_offline import (
+    learn_offline_budget_practical,
+    learn_offline_test,
+)
+from repro.distributions import families
+
+
+class TestBudget:
+    def test_linear_in_n(self):
+        assert learn_offline_budget_practical(2000, 0.2) == pytest.approx(
+            2 * learn_offline_budget_practical(1000, 0.2)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            learn_offline_budget_practical(0, 0.2)
+
+
+class TestSmallDomainExactDP:
+    N, K, EPS = 600, 4, 0.3
+
+    def test_completeness(self):
+        dist = families.staircase(self.N, self.K).to_distribution()
+        hits = sum(learn_offline_test(dist, self.K, self.EPS, rng=s).accept for s in range(8))
+        assert hits >= 6
+
+    def test_soundness(self):
+        hits = 0
+        for s in range(8):
+            dist = families.far_from_hk(self.N, self.K, self.EPS, rng=s)
+            hits += not learn_offline_test(dist, self.K, self.EPS, rng=50 + s).accept
+        assert hits >= 6
+
+
+class TestLargeDomainGridPath:
+    N, K, EPS = 5000, 4, 0.3
+
+    def test_completeness(self):
+        dist = families.staircase(self.N, self.K).to_distribution()
+        hits = sum(learn_offline_test(dist, self.K, self.EPS, rng=s).accept for s in range(6))
+        assert hits >= 4
+
+    def test_soundness_sawtooth(self):
+        # The fine-grained perturbation must still be visible through the
+        # within-cell deviation term.
+        hits = 0
+        for s in range(6):
+            dist = families.far_from_hk(self.N, self.K, self.EPS, rng=s)
+            hits += not learn_offline_test(dist, self.K, self.EPS, rng=60 + s).accept
+        assert hits >= 4
+
+    def test_sparse_support_histogram_accepted(self):
+        # Regression: sparse supports need singleton isolation in the grid.
+        dist = families.sparse_support(3000, 10, rng=0)
+        v = learn_offline_test(dist, 21, 0.3, rng=1)
+        assert v.accept
+
+
+class TestMechanics:
+    def test_fields(self):
+        v = learn_offline_test(families.uniform(500), 2, 0.4, rng=0)
+        assert v.threshold == pytest.approx(0.2)
+        assert v.plugin_distance >= 0
+        assert v.samples_used == learn_offline_budget_practical(500, 0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            learn_offline_test(families.uniform(100), 0, 0.3)
+        with pytest.raises(ValueError):
+            learn_offline_test(families.uniform(100), 2, 0.0)

@@ -1,0 +1,74 @@
+"""Tests for the k=1 uniformity testers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.uniformity import (
+    chi2_uniformity_test,
+    collision_budget,
+    collision_uniformity_test,
+)
+from repro.distributions import families
+from repro.distributions.sampling import SampleSource
+from repro.lowerbounds.paninski import paninski_instance
+
+
+N, EPS = 2000, 0.2
+
+
+class TestCollisionTester:
+    def test_budget_formula(self):
+        assert collision_budget(10_000, 0.1) == pytest.approx(8 * 100 / 0.01, rel=0.01)
+        with pytest.raises(ValueError):
+            collision_budget(0, 0.1)
+        with pytest.raises(ValueError):
+            collision_budget(10, 2.0)
+
+    def test_accepts_uniform(self):
+        hits = sum(
+            collision_uniformity_test(families.uniform(N), EPS, rng=s).accept
+            for s in range(15)
+        )
+        assert hits >= 12
+
+    def test_rejects_paninski(self):
+        # Q_eps at c=6 is >= 2*eps far from uniform.
+        hits = sum(
+            not collision_uniformity_test(paninski_instance(N, EPS, rng=s, c=4.0), EPS, rng=50 + s).accept
+            for s in range(15)
+        )
+        assert hits >= 12
+
+    def test_rejects_point_mass_mix(self):
+        from repro.distributions.discrete import DiscreteDistribution
+
+        heavy = DiscreteDistribution.point_mass(N, 0).mix(families.uniform(N), 0.5)
+        assert not collision_uniformity_test(heavy, EPS, rng=0).accept
+
+    def test_fields(self):
+        v = collision_uniformity_test(families.uniform(N), EPS, num_samples=500, rng=1)
+        assert v.samples_used == 500.0
+        assert v.threshold == pytest.approx((1 + 2 * EPS**2) / N)
+
+    def test_source_budget_accounting(self):
+        src = SampleSource(families.uniform(N), rng=2)
+        collision_uniformity_test(src, EPS)
+        assert src.samples_drawn == collision_budget(N, EPS)
+
+
+class TestChi2Uniformity:
+    def test_accepts_uniform(self):
+        hits = sum(
+            chi2_uniformity_test(families.uniform(N), EPS, rng=s).accept for s in range(15)
+        )
+        assert hits >= 12
+
+    def test_rejects_far(self):
+        hits = sum(
+            not chi2_uniformity_test(paninski_instance(N, EPS, rng=s, c=4.0), EPS, rng=99 + s).accept
+            for s in range(15)
+        )
+        assert hits >= 12
+
+    def test_rejects_zipf(self):
+        assert not chi2_uniformity_test(families.zipf(N, 1.0), EPS, rng=3).accept

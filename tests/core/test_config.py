@@ -1,0 +1,129 @@
+"""Tests for the constant profiles."""
+
+import math
+
+import pytest
+
+from repro.core.config import TesterConfig
+
+
+class TestProfiles:
+    def test_paper_profile_literal_constants(self):
+        cfg = TesterConfig.paper()
+        assert cfg.partition_b_factor == 20.0
+        assert cfg.chi2_sample_factor == 20000.0
+        assert cfg.learner_eps_fraction == pytest.approx(1 / 60)
+        assert cfg.final_eps_fraction == pytest.approx(13 / 30)
+        assert cfg.check_tolerance_fraction == pytest.approx(1 / 60)
+        assert cfg.sieve_heavy_factor == 10.0
+        assert cfg.sieve_residual_factor == 2.0
+
+    def test_practical_profile_smaller(self):
+        paper, practical = TesterConfig.paper(), TesterConfig.practical()
+        assert practical.chi2_sample_factor < paper.chi2_sample_factor
+        assert practical.partition_b_factor < paper.partition_b_factor
+
+    def test_overrides(self):
+        cfg = TesterConfig.practical(chi2_sample_factor=3.0)
+        assert cfg.chi2_sample_factor == 3.0
+        assert cfg.profile == "practical"
+
+    def test_scaled(self):
+        cfg = TesterConfig.practical().scaled(0.5)
+        assert cfg.budget_scale == 0.5
+        with pytest.raises(ValueError):
+            TesterConfig.practical().scaled(0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TesterConfig.practical().chi2_sample_factor = 1.0
+
+
+class TestDerived:
+    def test_partition_b_formula(self):
+        cfg = TesterConfig.paper()
+        assert cfg.partition_b(8, 0.5) == pytest.approx(20 * 8 * 3 / 0.5)
+
+    def test_partition_b_small_k_clamps_log(self):
+        cfg = TesterConfig.paper()
+        assert cfg.partition_b(1, 0.5) == pytest.approx(20 * 1 * 1 / 0.5)
+
+    def test_budget_scale_multiplies_samples(self):
+        base = TesterConfig.practical()
+        doubled = base.scaled(2.0)
+        assert doubled.partition_samples(4, 0.3) == pytest.approx(
+            2 * base.partition_samples(4, 0.3), rel=0.01
+        )
+        assert doubled.chi2_samples(1000, 0.1) == pytest.approx(
+            2 * base.chi2_samples(1000, 0.1), rel=0.01
+        )
+        assert doubled.learner_samples(50, 0.3) == pytest.approx(
+            2 * base.learner_samples(50, 0.3), rel=0.01
+        )
+
+    def test_chi2_samples_scaling(self):
+        cfg = TesterConfig.practical()
+        # sqrt(n) scaling.
+        assert cfg.chi2_samples(40000, 0.1) == pytest.approx(
+            2 * cfg.chi2_samples(10000, 0.1), rel=0.01
+        )
+        # 1/eps^2 scaling.
+        assert cfg.chi2_samples(10000, 0.05) == pytest.approx(
+            4 * cfg.chi2_samples(10000, 0.1), rel=0.01
+        )
+
+    def test_sieve_rounds_log_k(self):
+        cfg = TesterConfig.practical()
+        assert cfg.sieve_rounds(2) == 2
+        assert cfg.sieve_rounds(16) == 5
+        assert cfg.sieve_rounds(17) == 6
+
+    def test_chi2_repeats_explicit(self):
+        assert TesterConfig.practical().chi2_repeat_count(100) == 1
+
+    def test_chi2_repeats_derived_is_odd_and_grows(self):
+        cfg = TesterConfig.paper()
+        r_small = cfg.chi2_repeat_count(2)
+        r_big = cfg.chi2_repeat_count(1000)
+        assert r_small % 2 == 1 and r_big % 2 == 1
+        assert r_big >= r_small
+
+    def test_final_eps(self):
+        assert TesterConfig.paper().final_eps(0.3) == pytest.approx(0.13)
+
+    def test_validation(self):
+        cfg = TesterConfig.practical()
+        with pytest.raises(ValueError):
+            cfg.partition_b(0, 0.5)
+        with pytest.raises(ValueError):
+            cfg.partition_b(2, 1.5)
+        with pytest.raises(ValueError):
+            cfg.chi2_samples(0, 0.1)
+        with pytest.raises(ValueError):
+            cfg.chi2_samples(10, 0.0)
+        with pytest.raises(ValueError):
+            cfg.learner_samples(0, 0.3)
+
+    def test_practical_threshold_margins(self):
+        """The calibration invariants the practical profile's docstring
+        promises (the completeness/soundness separation of the analysis)."""
+        cfg = TesterConfig.practical()
+        eps = 0.3
+        eps_final = cfg.final_eps(eps)
+        final_threshold = cfg.chi2_accept_fraction * eps_final**2
+        # Learning error (with 10x Markov slack) below the final threshold.
+        learn_error = 10.0 * cfg.learner_eps(eps) ** 2 / cfg.learner_sample_factor
+        assert learn_error < final_threshold
+        # Sieve-accept residual below the final threshold too.
+        sieve_residual = cfg.sieve_accept_factor * cfg.sieve_alpha(eps) ** 2
+        assert sieve_residual < 2.1 * final_threshold  # joint margin documented
+        # Soundness expectation far above the threshold.
+        assert 4.0 * eps_final**2 > 8.0 * final_threshold
+
+    def test_noise_floor_margin(self):
+        """Final χ² threshold must sit several σ above the √(2n) noise."""
+        cfg = TesterConfig.practical()
+        for n in (1000, 10_000, 100_000):
+            threshold = cfg.chi2_sample_factor * math.sqrt(n) * cfg.chi2_accept_fraction
+            noise_sd = math.sqrt(2.0 * n)
+            assert threshold / noise_sd > 4.0

@@ -1,0 +1,131 @@
+"""Property-based tests on core invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import algorithm1_budget, theorem_lower_bound, theorem_upper_bound
+from repro.core.chi2 import active_mask, interval_statistics
+from repro.core.config import TesterConfig
+from repro.distributions.discrete import DiscreteDistribution
+from repro.util.intervals import Partition
+
+
+def random_partition(n: int, seed: int) -> Partition:
+    gen = np.random.default_rng(seed)
+    cuts = np.unique(gen.integers(1, n, size=gen.integers(0, min(8, n - 1) + 1)))
+    return Partition(np.concatenate(([0], cuts, [n])))
+
+
+class TestStatisticProperties:
+    @given(st.integers(4, 40), st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_partition_refinement_preserves_total(self, n, seed):
+        """The total statistic is partition-independent (it is a sum of
+        per-point terms): any two partitions give the same Z."""
+        gen = np.random.default_rng(seed)
+        dist = DiscreteDistribution(gen.dirichlet(np.ones(n)))
+        ref = gen.dirichlet(np.ones(n)) + 1e-6
+        ref /= ref.sum()
+        counts = dist.sample_counts_poissonized(500.0, gen)
+        mask = np.ones(n, dtype=bool)
+        p1 = random_partition(n, seed + 1)
+        p2 = random_partition(n, seed + 2)
+        z1 = interval_statistics(counts, 500.0, ref, p1, mask).sum()
+        z2 = interval_statistics(counts, 500.0, ref, p2, mask).sum()
+        assert z1 == pytest.approx(z2, abs=1e-6)
+
+    @given(st.integers(4, 40), st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_mask_monotonicity(self, n, seed):
+        """Shrinking the active mask can only remove non-negative terms in
+        expectation: E[Z] over a submask <= E[Z] over the full mask."""
+        from repro.core.chi2 import expected_statistic
+
+        gen = np.random.default_rng(seed)
+        dist = gen.dirichlet(np.ones(n))
+        ref = gen.dirichlet(np.ones(n)) + 1e-6
+        ref /= ref.sum()
+        sub = gen.random(n) > 0.5
+        full = expected_statistic(dist, ref, 100.0, eps=0.5, domain_mask=None)
+        restricted = expected_statistic(dist, ref, 100.0, eps=0.5, domain_mask=sub)
+        assert restricted <= full + 1e-12
+
+    @given(st.floats(0.01, 0.99), st.floats(0.01, 0.99), st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_active_mask_monotone_in_eps(self, eps_a, eps_b, seed):
+        gen = np.random.default_rng(seed)
+        ref = gen.dirichlet(np.ones(30))
+        lo, hi = sorted((eps_a, eps_b))
+        mask_lo = active_mask(ref, lo, 1 / 50)
+        mask_hi = active_mask(ref, hi, 1 / 50)
+        # Larger eps -> higher cut -> fewer active points.
+        assert np.all(mask_hi <= mask_lo)
+
+
+class TestBudgetProperties:
+    @given(
+        st.integers(10, 10**6),
+        st.integers(1, 200),
+        st.floats(0.02, 1.0),
+    )
+    @settings(max_examples=100)
+    def test_upper_dominates_lower(self, n, k, eps):
+        assert theorem_upper_bound(n, k, eps) >= theorem_lower_bound(n, k, eps) - 1e-9
+
+    @given(st.integers(10, 10**5), st.integers(1, 64), st.floats(0.05, 0.9))
+    @settings(max_examples=60)
+    def test_upper_bound_monotone(self, n, k, eps):
+        assert theorem_upper_bound(4 * n, k, eps) >= theorem_upper_bound(n, k, eps)
+        assert theorem_upper_bound(n, k + 1, eps) >= theorem_upper_bound(n, k, eps) * 0.99
+        assert theorem_upper_bound(n, k, eps / 2) >= theorem_upper_bound(n, k, eps)
+
+    @given(st.integers(100, 10**5), st.integers(1, 32), st.floats(0.1, 0.9))
+    @settings(max_examples=40)
+    def test_algorithm1_budget_positive_and_scaled(self, n, k, eps):
+        cfg = TesterConfig.practical()
+        base = algorithm1_budget(n, k, eps, cfg)
+        if k >= n:
+            assert base == 0.0
+            return
+        assert base > 0
+        assert algorithm1_budget(n, k, eps, cfg.scaled(3.0)) == pytest.approx(
+            3 * base, rel=0.02
+        )
+
+
+class TestSymmetry:
+    def test_reversal_invariance_of_class(self):
+        """H_k is closed under domain reversal; the tester should accept a
+        reversed histogram just as it accepts the original (spot check)."""
+        from repro.core.tester import test_histogram
+        from repro.distributions import families
+
+        cfg = TesterConfig.practical()
+        dist = families.staircase(2000, 4, ratio=2.5).to_distribution()
+        reversed_dist = DiscreteDistribution(dist.pmf[::-1].copy())
+        assert test_histogram(dist, 4, 0.3, config=cfg, rng=0).accept
+        assert test_histogram(reversed_dist, 4, 0.3, config=cfg, rng=0).accept
+
+    def test_reversal_preserves_projection_distance(self):
+        from repro.distributions.projection import flattening_distance
+
+        gen = np.random.default_rng(3)
+        pmf = gen.dirichlet(np.ones(40))
+        for k in (1, 3, 6):
+            assert flattening_distance(pmf, k) == pytest.approx(
+                flattening_distance(pmf[::-1].copy(), k), abs=1e-9
+            )
+
+    def test_permutation_invariance_of_symmetric_metrics(self):
+        from repro.distributions.distances import hellinger_distance, tv_distance
+
+        gen = np.random.default_rng(4)
+        p = gen.dirichlet(np.ones(30))
+        q = gen.dirichlet(np.ones(30))
+        sigma = gen.permutation(30)
+        assert tv_distance(p[sigma], q[sigma]) == pytest.approx(tv_distance(p, q))
+        assert hellinger_distance(p[sigma], q[sigma]) == pytest.approx(
+            hellinger_distance(p, q)
+        )

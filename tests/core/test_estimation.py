@@ -1,0 +1,88 @@
+"""Tests for tolerant distance estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import (
+    DistanceEstimate,
+    estimate_distance_to_hk,
+    estimation_budget,
+)
+from repro.distributions import families
+from repro.distributions.projection import histogram_distance_bounds
+
+
+class TestBudget:
+    def test_scalings(self):
+        assert estimation_budget(2000, 0.1) == pytest.approx(2 * estimation_budget(1000, 0.1))
+        assert estimation_budget(1000, 0.05) == pytest.approx(4 * estimation_budget(1000, 0.1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimation_budget(0, 0.1)
+        with pytest.raises(ValueError):
+            estimation_budget(10, 0.0)
+
+
+class TestSmallDomain:
+    N, ACC = 600, 0.08
+
+    def test_histogram_estimates_near_zero(self):
+        dist = families.staircase(self.N, 4).to_distribution()
+        est = estimate_distance_to_hk(dist, 4, self.ACC, rng=0)
+        assert est.low == 0.0
+        assert est.point <= self.ACC
+        assert 0.0 in est
+
+    def test_far_distribution_interval_brackets_truth(self):
+        dist = families.far_from_hk(self.N, 4, 0.25, rng=1)
+        lo_true, hi_true = histogram_distance_bounds(dist, 4)
+        est = estimate_distance_to_hk(dist, 4, self.ACC, rng=2)
+        # Interval overlaps the true sandwich, and low certifies farness.
+        assert est.low > 0.0
+        assert est.low <= hi_true + 1e-9
+        assert est.high >= lo_true - 1e-9
+        assert abs(est.point - lo_true) <= 2 * self.ACC
+
+    def test_zipf_point_estimate_accuracy(self):
+        dist = families.zipf(self.N, 1.0)
+        truth = histogram_distance_bounds(dist, 5)
+        est = estimate_distance_to_hk(dist, 5, self.ACC, rng=3)
+        assert est.point == pytest.approx(0.5 * (truth[0] + truth[1]), abs=2 * self.ACC)
+
+    def test_more_samples_tighter(self):
+        dist = families.zipf(self.N, 1.0)
+        wide = estimate_distance_to_hk(dist, 5, 0.2, rng=4)
+        narrow = estimate_distance_to_hk(dist, 5, 0.05, rng=5)
+        assert narrow.high - narrow.low < wide.high - wide.low
+        assert narrow.samples_used > wide.samples_used
+
+
+class TestLargeDomainGrid:
+    def test_histogram_near_zero(self):
+        dist = families.staircase(4000, 4).to_distribution()
+        est = estimate_distance_to_hk(dist, 4, 0.1, rng=6)
+        assert est.point <= 0.1
+
+    def test_far_detected(self):
+        dist = families.far_from_hk(4000, 4, 0.3, rng=7)
+        est = estimate_distance_to_hk(dist, 4, 0.1, rng=8)
+        assert est.point >= 0.15
+
+
+class TestMechanics:
+    def test_contains(self):
+        est = DistanceEstimate(low=0.1, high=0.3, point=0.2, samples_used=10)
+        assert 0.2 in est and 0.05 not in est and "x" not in est
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_distance_to_hk(families.uniform(100), 0)
+        with pytest.raises(ValueError):
+            estimate_distance_to_hk(families.uniform(100), 2, accuracy=0.0)
+
+    def test_explicit_samples(self):
+        est = estimate_distance_to_hk(
+            families.uniform(200), 2, 0.2, rng=9, num_samples=5000
+        )
+        assert est.samples_used == 5000.0

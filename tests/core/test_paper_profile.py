@@ -1,0 +1,56 @@
+"""Fidelity checks under the paper's literal constants.
+
+Because all sampling is count-vector based, even the paper profile's
+astronomical budgets (tens of billions of samples) simulate in milliseconds
+— numpy draws Poisson/multinomial counts directly.  These tests exercise
+Algorithm 1 under ``TesterConfig.paper()`` end to end.
+"""
+
+import pytest
+
+from repro.core.budget import algorithm1_budget
+from repro.core.config import TesterConfig
+from repro.core.tester import test_histogram
+from repro.distributions import families
+
+PAPER = TesterConfig.paper()
+# Large enough that the paper profile's b = 20·k·log k/eps stays clear of the
+# degenerate plug-in regime (2b + 2 << n/2) and the full pipeline runs.
+N, K, EPS = 10_000, 4, 0.3
+
+
+class TestPaperProfile:
+    def test_completeness(self):
+        dist = families.staircase(N, K).to_distribution()
+        hits = sum(
+            test_histogram(dist, K, EPS, config=PAPER, rng=s).accept for s in range(5)
+        )
+        assert hits >= 4
+
+    def test_soundness(self):
+        hits = 0
+        for s in range(5):
+            far = families.far_from_hk(N, K, EPS, rng=s)
+            hits += not test_histogram(far, K, EPS, config=PAPER, rng=50 + s).accept
+        assert hits >= 4
+
+    def test_budget_enormous_but_simulable(self):
+        budget = algorithm1_budget(N, K, EPS, config=PAPER)
+        assert budget > 1e9  # the paper's constants really are this big
+        verdict = test_histogram(
+            families.uniform(N), K, EPS, config=PAPER, rng=0
+        )
+        assert verdict.stage != "plugin"  # the full pipeline actually ran
+        assert verdict.samples_used <= budget
+
+    def test_amplification_derived(self):
+        # The paper profile derives median-amplification repeats from
+        # delta = 1/(10(k+1)); they must exceed the practical profile's 1.
+        assert PAPER.chi2_repeat_count(K) > TesterConfig.practical().chi2_repeat_count(K)
+
+    def test_uses_more_samples_than_practical(self):
+        paper_v = test_histogram(families.uniform(N), K, EPS, config=PAPER, rng=1)
+        prac_v = test_histogram(
+            families.uniform(N), K, EPS, config=TesterConfig.practical(), rng=1
+        )
+        assert paper_v.samples_used > 10 * prac_v.samples_used

@@ -1,0 +1,85 @@
+"""Tests for APPROXPART (Proposition 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import approx_partition, partition_diagnostics
+from repro.distributions import families
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.sampling import SampleSource
+
+
+def run_partition(dist, b, factor=16.0, rng=0):
+    m = int(factor * b * np.log(b + np.e))
+    return approx_partition(SampleSource(dist, rng), b, m)
+
+
+class TestApproxPartition:
+    def test_validation(self):
+        src = SampleSource(DiscreteDistribution.uniform(10), rng=0)
+        with pytest.raises(ValueError):
+            approx_partition(src, 0.5, 10)
+        with pytest.raises(ValueError):
+            approx_partition(src, 4.0, 0)
+
+    def test_covers_domain(self):
+        p = run_partition(families.uniform(500), b=20)
+        assert p.n == 500
+
+    def test_uniform_interval_weights(self):
+        n, b = 2000, 25
+        dist = families.uniform(n)
+        p = run_partition(dist, b)
+        diag = partition_diagnostics(p, dist.pmf, b)
+        assert diag["heavy_not_singleton"] == 0
+        assert diag["overweight_non_singletons"] == 0
+        assert diag["max_non_singleton_mass"] <= 2.0 / b
+
+    def test_heavy_points_become_singletons(self):
+        # Distribution with explicit heavy atoms.
+        n, b = 400, 20
+        pmf = np.full(n, 0.5 / n)
+        pmf[[10, 100, 333]] += (0.5 - 0.5 * 3 / n) / 3  # three ~1/6 atoms
+        pmf /= pmf.sum()
+        dist = DiscreteDistribution(pmf)
+        # Flake: Chernoff at m = 16 b log b puts per-clause failure << 1e-3.
+        p = run_partition(dist, b, rng=1)
+        diag = partition_diagnostics(p, pmf, b)
+        assert diag["heavy_points"] == 3
+        assert diag["heavy_not_singleton"] == 0
+
+    def test_interval_count_order_b(self):
+        n, b = 3000, 30
+        p = run_partition(families.uniform(n), b, rng=2)
+        # Greedy construction bound: K = O(b) (paper: 2b+2; ours <= ~4b+2).
+        assert len(p) <= 4 * b + 2
+
+    def test_zipf_head_singletons(self):
+        n, b = 1000, 12
+        dist = families.zipf(n, 1.0)
+        p = run_partition(dist, b, rng=3)
+        diag = partition_diagnostics(p, dist.pmf, b)
+        assert diag["heavy_not_singleton"] == 0
+        # The Zipf head (mass >= 1/12) must be singletons.
+        assert p[0].is_singleton
+
+    def test_diagnostics_validation(self):
+        p = run_partition(families.uniform(100), 10)
+        with pytest.raises(ValueError):
+            partition_diagnostics(p, np.ones(50) / 50, 10)
+
+    def test_reproducible(self):
+        dist = families.zipf(300, 1.0)
+        a = run_partition(dist, 10, rng=7)
+        b = run_partition(dist, 10, rng=7)
+        assert a == b
+
+    def test_light_intervals_bounded_by_singletons(self):
+        # Our documented deviation from the two-light clause: light
+        # intervals <= singletons + 1.
+        n, b = 1500, 15
+        dist = families.zipf(n, 1.2)
+        p = run_partition(dist, b, rng=4)
+        diag = partition_diagnostics(p, dist.pmf, b)
+        singletons = sum(1 for iv in p if iv.is_singleton)
+        assert diag["light_intervals"] <= singletons + 1

@@ -1,0 +1,148 @@
+"""Tests for the sieving stage (Section 3.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TesterConfig
+from repro.core.learner import learn_histogram
+from repro.core.sieve import sieve_ground_truth_expectations, sieve_intervals
+from repro.distributions import families
+from repro.distributions.histogram import Histogram, breakpoint_intervals
+from repro.distributions.sampling import SampleSource
+from repro.util.intervals import Partition
+
+
+def learned_setup(dist, pieces, m_learn=200_000, rng=0):
+    part = Partition.equal_width(dist.n, pieces)
+    src = SampleSource(dist, rng)
+    learned = learn_histogram(src, part, m_learn)
+    return src, learned
+
+
+class TestSieveCompleteness:
+    def test_removes_breakpoint_intervals(self):
+        """On a true histogram with misaligned partition, the sieve removes
+        exactly the breakpoint intervals (they carry all the χ² mass)."""
+        n, k = 3000, 4
+        dist = families.staircase(n, k, ratio=3.0).to_distribution()
+        src, learned = learned_setup(dist, pieces=21)  # misaligned with k=4 steps
+        bps = set(breakpoint_intervals(dist, learned.partition))
+        assert bps  # the setup is genuinely misaligned
+        result = sieve_intervals(src, learned, k, 0.25, TesterConfig.practical())
+        assert not result.rejected
+        removed = set(int(j) for j in result.removed)
+        # All breakpoint intervals with meaningful mass must go.
+        gt = sieve_ground_truth_expectations(dist.pmf, learned, 0.25, TesterConfig.practical())
+        heavy_bps = {j for j in bps if gt[j] > result.final_statistic}
+        assert heavy_bps <= removed
+
+    def test_aligned_histogram_removes_nothing_much(self):
+        n, k = 2000, 4
+        hist = families.staircase(n, k)
+        dist = hist.to_distribution()
+        part = Partition(np.union1d(hist.partition.boundaries, Partition.equal_width(n, 20).boundaries))
+        src = SampleSource(dist, rng=1)
+        learned = learn_histogram(src, part, 400_000)
+        result = sieve_intervals(src, learned, k, 0.3, TesterConfig.practical())
+        assert not result.rejected
+        assert result.num_removed <= 2  # nothing is genuinely bad
+
+    def test_kept_mask_consistent(self):
+        n, k = 1000, 3
+        dist = families.staircase(n, k).to_distribution()
+        src, learned = learned_setup(dist, pieces=17, rng=2)
+        result = sieve_intervals(src, learned, k, 0.3, TesterConfig.practical())
+        assert len(result.kept) == len(learned.partition)
+        assert np.all(~result.kept[result.removed])
+        assert result.num_removed == (~result.kept).sum()
+
+
+class TestSieveSoundness:
+    def test_rejects_when_evidence_is_everywhere(self):
+        """A sawtooth-far distribution spreads χ² mass over every interval;
+        the sieve cannot remove it all within budget and must reject (or
+        leave enough for the final test — here the residual target forces
+        rejection)."""
+        n, k = 3000, 4
+        dist = families.far_from_hk(n, k, 0.25, rng=3)
+        src, learned = learned_setup(dist, pieces=21, rng=3)
+        rejections = 0
+        for seed in range(5):
+            src2 = SampleSource(dist, rng=100 + seed)
+            result = sieve_intervals(src2, learned, k, 0.25, TesterConfig.practical())
+            rejections += result.rejected
+        assert rejections >= 4
+
+    def test_never_removes_singletons(self):
+        # Heavy singleton with a huge statistic must stay (and force reject).
+        n = 500
+        pmf = np.full(n, 0.5 / (n - 1))
+        pmf[250] = 0.5
+        pmf /= pmf.sum()
+        from repro.distributions.discrete import DiscreteDistribution
+
+        dist = DiscreteDistribution(pmf)
+        # Learn a wrong reference by hand: uniform histogram on a partition
+        # where 250 is a singleton.
+        bounds = np.unique(np.concatenate((np.arange(0, n + 1, 25), [250, 251])))
+        part = Partition(bounds)
+        masses = np.full(len(part), 1.0 / len(part))
+        learned = Histogram.from_masses(part, masses)
+        src = SampleSource(dist, rng=4)
+        result = sieve_intervals(src, learned, 3, 0.3, TesterConfig.practical())
+        singleton_idx = part.locate(250)
+        assert singleton_idx not in set(int(j) for j in result.removed)
+        assert result.rejected
+
+
+class TestSieveMechanics:
+    def test_budget_accounting(self):
+        n, k = 1000, 2
+        cfg = TesterConfig.practical()
+        dist = families.uniform(n)
+        src, learned = learned_setup(dist, pieces=9, rng=5)
+        before = src.samples_drawn
+        result = sieve_intervals(src, learned, k, 0.3, cfg)
+        assert result.samples_used == pytest.approx(src.samples_drawn - before)
+        per_batch = cfg.chi2_samples(n, cfg.sieve_alpha(0.3)) * cfg.chi2_repeat_count(k)
+        max_batches = 1 + cfg.sieve_rounds(k)
+        assert result.samples_used <= per_batch * max_batches + 1
+
+    def test_reuse_mode_single_batch(self):
+        n, k = 1000, 2
+        cfg = TesterConfig.practical(fresh_sieve_samples=False)
+        dist = families.uniform(n)
+        src, learned = learned_setup(dist, pieces=9, rng=6)
+        result = sieve_intervals(src, learned, k, 0.3, cfg)
+        per_batch = cfg.chi2_samples(n, cfg.sieve_alpha(0.3)) * cfg.chi2_repeat_count(k)
+        assert result.samples_used == pytest.approx(per_batch)
+
+    def test_phase_a_reject_on_too_many_heavy(self):
+        # A distribution with k+2 strong steps tested against small k: many
+        # intervals carry heavy statistics at once.
+        n = 2000
+        dist = families.staircase(n, 12, ratio=3.0).to_distribution()
+        src, learned = learned_setup(dist, pieces=12 * 2 + 1, rng=7)
+        result = sieve_intervals(src, learned, 1, 0.2, TesterConfig.practical())
+        assert result.rejected
+
+    def test_validation(self):
+        dist = families.uniform(100)
+        src, learned = learned_setup(dist, pieces=5, m_learn=1000, rng=8)
+        with pytest.raises(ValueError):
+            sieve_intervals(src, learned, 0, 0.3, TesterConfig.practical())
+        with pytest.raises(ValueError):
+            sieve_intervals(src, learned, 2, 0.0, TesterConfig.practical())
+        other_src = SampleSource(families.uniform(50), rng=0)
+        with pytest.raises(ValueError):
+            sieve_intervals(other_src, learned, 2, 0.3, TesterConfig.practical())
+
+    def test_ground_truth_expectation_helper(self):
+        n = 400
+        dist = families.staircase(n, 4).to_distribution()
+        part = Partition.equal_width(n, 9)
+        learned = Histogram.flattening(dist, part)
+        gt = sieve_ground_truth_expectations(dist.pmf, learned, 0.3, TesterConfig.practical())
+        bps = breakpoint_intervals(dist, part)
+        # chi2 mass concentrates exactly on breakpoint intervals.
+        assert set(np.argsort(gt)[::-1][: len(bps)]) == set(bps)

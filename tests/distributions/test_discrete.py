@@ -1,0 +1,212 @@
+"""Tests for the discrete-distribution substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions.discrete import DiscreteDistribution
+
+
+class TestConstruction:
+    def test_valid_pmf(self):
+        d = DiscreteDistribution(np.array([0.2, 0.3, 0.5]))
+        assert d.n == 3
+        assert d.pmf.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            DiscreteDistribution(np.array([0.5, -0.1, 0.6]))
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ValueError, match="sums to"):
+            DiscreteDistribution(np.array([0.5, 0.6]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            DiscreteDistribution(np.array([np.nan, 1.0]))
+
+    def test_rejects_empty_and_2d(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution(np.array([]))
+        with pytest.raises(ValueError):
+            DiscreteDistribution(np.ones((2, 2)) / 4)
+
+    def test_pmf_read_only(self):
+        d = DiscreteDistribution.uniform(4)
+        with pytest.raises(ValueError):
+            d.pmf[0] = 1.0
+
+    def test_uniform(self):
+        d = DiscreteDistribution.uniform(8)
+        assert np.allclose(d.pmf, 1 / 8)
+        with pytest.raises(ValueError):
+            DiscreteDistribution.uniform(0)
+
+    def test_point_mass(self):
+        d = DiscreteDistribution.point_mass(5, 3)
+        assert d[3] == 1.0 and d.support_size() == 1
+        with pytest.raises(ValueError):
+            DiscreteDistribution.point_mass(5, 5)
+
+    def test_from_weights(self):
+        d = DiscreteDistribution.from_weights(np.array([2.0, 6.0]))
+        assert d.pmf.tolist() == [0.25, 0.75]
+        with pytest.raises(ValueError):
+            DiscreteDistribution.from_weights(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            DiscreteDistribution.from_weights(np.array([-1.0, 2.0]))
+
+    def test_from_counts(self):
+        d = DiscreteDistribution.from_counts(np.array([1, 3]))
+        assert d.pmf.tolist() == [0.25, 0.75]
+
+    def test_equality_and_hash(self):
+        a = DiscreteDistribution.uniform(3)
+        b = DiscreteDistribution.uniform(3)
+        assert a == b and hash(a) == hash(b)
+        assert a != DiscreteDistribution.point_mass(3, 0)
+
+
+class TestAccessors:
+    def test_support(self):
+        d = DiscreteDistribution(np.array([0.5, 0.0, 0.5]))
+        assert d.support().tolist() == [0, 2]
+        assert d.support_size() == 2
+
+    def test_min_nonzero(self):
+        d = DiscreteDistribution(np.array([0.9, 0.0, 0.1]))
+        assert d.min_nonzero() == pytest.approx(0.1)
+
+    def test_mass(self):
+        d = DiscreteDistribution(np.array([0.1, 0.2, 0.7]))
+        assert d.mass(np.array([0, 2])) == pytest.approx(0.8)
+
+
+class TestSampling:
+    def test_sample_shape_and_range(self):
+        d = DiscreteDistribution.uniform(10)
+        s = d.sample(1000, rng=0)
+        assert s.shape == (1000,)
+        assert s.min() >= 0 and s.max() < 10
+
+    def test_sample_zero(self):
+        assert len(DiscreteDistribution.uniform(3).sample(0, rng=0)) == 0
+
+    def test_sample_negative_raises(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution.uniform(3).sample(-1)
+
+    def test_sample_respects_zero_mass(self):
+        d = DiscreteDistribution(np.array([0.5, 0.0, 0.5]))
+        s = d.sample(5000, rng=1)
+        assert not np.any(s == 1)
+
+    def test_sample_counts_total(self):
+        d = DiscreteDistribution.uniform(5)
+        c = d.sample_counts(777, rng=2)
+        assert c.sum() == 777
+
+    def test_sample_marginals_close(self):
+        # Flake risk: binomial(20000, 0.3) within 4 sigma — < 1e-4.
+        d = DiscreteDistribution(np.array([0.3, 0.7]))
+        c = d.sample_counts(20000, rng=3)
+        sigma = np.sqrt(20000 * 0.3 * 0.7)
+        assert abs(c[0] - 6000) < 4 * sigma
+
+    def test_poissonized_counts_mean(self):
+        d = DiscreteDistribution.uniform(4)
+        total = sum(d.sample_counts_poissonized(1000, rng=s).sum() for s in range(20))
+        assert abs(total / 20 - 1000) < 50  # Poisson(1000) mean over 20 reps
+
+    def test_poissonized_negative_raises(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution.uniform(3).sample_counts_poissonized(-1.0)
+
+    def test_empirical(self):
+        d = DiscreteDistribution.uniform(4)
+        e = d.empirical(100, rng=4)
+        assert e.n == 4
+        assert e.pmf.sum() == pytest.approx(1.0)
+
+    def test_empirical_zero_samples_uniform(self):
+        e = DiscreteDistribution.point_mass(4, 0).empirical(0, rng=0)
+        assert np.allclose(e.pmf, 0.25)
+
+    def test_sampling_reproducible(self):
+        d = DiscreteDistribution.uniform(6)
+        assert np.array_equal(d.sample(50, rng=9), d.sample(50, rng=9))
+
+
+class TestStructuralOps:
+    def test_permute_relabels(self):
+        d = DiscreteDistribution(np.array([0.1, 0.2, 0.7]))
+        sigma = np.array([2, 0, 1])  # old i -> new sigma[i]
+        p = d.permute(sigma)
+        assert p.pmf.tolist() == pytest.approx([0.2, 0.7, 0.1])
+
+    def test_permute_identity(self):
+        d = DiscreteDistribution(np.array([0.4, 0.6]))
+        assert d.permute(np.array([0, 1])) == d
+
+    def test_permute_validation(self):
+        d = DiscreteDistribution.uniform(3)
+        with pytest.raises(ValueError):
+            d.permute(np.array([0, 0, 1]))
+
+    def test_permute_samples_match_distribution(self):
+        # sigma(s) for s ~ D must match samples of D∘sigma^-1: check marginals.
+        d = DiscreteDistribution(np.array([0.8, 0.1, 0.1]))
+        sigma = np.array([1, 2, 0])
+        p = d.permute(sigma)
+        counts = p.sample_counts(30000, rng=5) / 30000
+        assert abs(counts[1] - 0.8) < 0.02  # 4+ sigma margin
+
+    def test_embed(self):
+        d = DiscreteDistribution(np.array([0.5, 0.5]))
+        e = d.embed(5, offset=2)
+        assert e.pmf.tolist() == [0.0, 0.0, 0.5, 0.5, 0.0]
+        with pytest.raises(ValueError):
+            d.embed(3, offset=2)
+
+    def test_mix(self):
+        a = DiscreteDistribution(np.array([1.0, 0.0]))
+        b = DiscreteDistribution(np.array([0.0, 1.0]))
+        m = a.mix(b, 0.25)
+        assert m.pmf.tolist() == [0.75, 0.25]
+        with pytest.raises(ValueError):
+            a.mix(b, 1.5)
+        with pytest.raises(ValueError):
+            a.mix(DiscreteDistribution.uniform(3), 0.5)
+
+    def test_conditioned_on(self):
+        d = DiscreteDistribution(np.array([0.2, 0.3, 0.5]))
+        c = d.conditioned_on(np.array([True, False, True]))
+        assert c.pmf.tolist() == pytest.approx([2 / 7, 0.0, 5 / 7])
+        with pytest.raises(ValueError):
+            d.conditioned_on(np.array([False, False, False]))
+
+    def test_restrict_subdistribution(self):
+        d = DiscreteDistribution(np.array([0.2, 0.3, 0.5]))
+        r = d.restrict(np.array([True, False, True]))
+        assert r.tolist() == [0.2, 0.0, 0.5]
+        assert r.sum() < 1.0  # genuinely a sub-distribution
+
+
+class TestProperties:
+    @given(st.integers(2, 30), st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_random_permutation_preserves_multiset(self, n, seed):
+        gen = np.random.default_rng(seed)
+        d = DiscreteDistribution(gen.dirichlet(np.ones(n)))
+        sigma = gen.permutation(n)
+        p = d.permute(sigma)
+        assert np.allclose(np.sort(p.pmf), np.sort(d.pmf))
+
+    @given(st.integers(1, 20), st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_pmf_always_normalised(self, n, seed):
+        gen = np.random.default_rng(seed)
+        d = DiscreteDistribution.from_weights(gen.random(n) + 1e-12)
+        assert d.pmf.sum() == pytest.approx(1.0)
+        assert np.all(d.pmf >= 0)

@@ -1,0 +1,205 @@
+"""Tests for the distance library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.distances import (
+    ak_distance,
+    chi2_distance,
+    empirical_tv,
+    hellinger_distance,
+    ks_distance,
+    l1_distance,
+    l2_distance,
+    tv_chi2_inequality_gap,
+    tv_distance,
+)
+
+
+def dirichlet_pair(n, seed):
+    gen = np.random.default_rng(seed)
+    return gen.dirichlet(np.ones(n)), gen.dirichlet(np.ones(n))
+
+
+class TestTV:
+    def test_known_value(self):
+        p = np.array([0.5, 0.5, 0.0])
+        q = np.array([0.25, 0.25, 0.5])
+        assert tv_distance(p, q) == pytest.approx(0.5)
+        assert l1_distance(p, q) == pytest.approx(1.0)
+
+    def test_accepts_distribution_objects(self):
+        a = DiscreteDistribution.uniform(4)
+        b = DiscreteDistribution.point_mass(4, 0)
+        assert tv_distance(a, b) == pytest.approx(0.75)
+
+    def test_identity(self):
+        p, _ = dirichlet_pair(10, 0)
+        assert tv_distance(p, p) == 0.0
+
+    def test_disjoint_supports_give_one(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert tv_distance(p, q) == pytest.approx(1.0)
+
+    def test_restricted_tv(self):
+        p = np.array([0.5, 0.3, 0.2])
+        q = np.array([0.2, 0.3, 0.5])
+        mask = np.array([True, False, False])
+        assert tv_distance(p, q, mask) == pytest.approx(0.15)
+
+    def test_domain_mismatch(self):
+        with pytest.raises(ValueError):
+            tv_distance(np.ones(3) / 3, np.ones(4) / 4)
+
+    def test_mask_shape_check(self):
+        with pytest.raises(ValueError):
+            tv_distance(np.ones(3) / 3, np.ones(3) / 3, np.array([True, False]))
+
+
+class TestChi2:
+    def test_known_value(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.25, 0.75])
+        expected = (0.25**2) / 0.25 + (0.25**2) / 0.75
+        assert chi2_distance(p, q) == pytest.approx(expected)
+
+    def test_asymmetric(self):
+        p, q = dirichlet_pair(6, 1)
+        assert chi2_distance(p, q) != pytest.approx(chi2_distance(q, p))
+
+    def test_infinite_when_reference_zero(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([1.0, 0.0])
+        assert chi2_distance(p, q) == float("inf")
+
+    def test_zero_zero_contributes_nothing(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([1.0, 0.0])
+        assert chi2_distance(p, q) == 0.0
+
+    def test_restricted(self):
+        p = np.array([0.5, 0.5, 0.0])
+        q = np.array([0.25, 0.25, 0.5])
+        mask = np.array([True, False, False])
+        assert chi2_distance(p, q, mask) == pytest.approx(0.25)
+
+    def test_second_form_identity(self):
+        # dchi2 = -1 + sum p^2/q for full distributions.
+        p, q = dirichlet_pair(8, 2)
+        q = q + 1e-6
+        q /= q.sum()
+        alt = -1.0 + float(np.sum(p * p / q))
+        assert chi2_distance(p, q) == pytest.approx(alt, abs=1e-9)
+
+
+class TestOtherMetrics:
+    def test_l2(self):
+        assert l2_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(
+            np.sqrt(2)
+        )
+
+    def test_ks_vs_tv_bound(self):
+        p, q = dirichlet_pair(12, 3)
+        assert ks_distance(p, q) <= tv_distance(p, q) + 1e-12
+
+    def test_hellinger_range(self):
+        p, q = dirichlet_pair(12, 4)
+        h = hellinger_distance(p, q)
+        assert 0 <= h <= 1
+
+    def test_empirical_tv(self):
+        c1 = np.array([10, 10])
+        c2 = np.array([5, 15])
+        assert empirical_tv(c1, c2) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            empirical_tv(np.array([0, 0]), c2)
+
+
+class TestMetricProperties:
+    @given(st.integers(2, 20), st.integers(0, 10_000))
+    @settings(max_examples=80)
+    def test_tv_axioms(self, n, seed):
+        p, q = dirichlet_pair(n, seed)
+        r, _ = dirichlet_pair(n, seed + 1)
+        assert 0 <= tv_distance(p, q) <= 1 + 1e-12
+        assert tv_distance(p, q) == pytest.approx(tv_distance(q, p))
+        assert tv_distance(p, r) <= tv_distance(p, q) + tv_distance(q, r) + 1e-12
+
+    @given(st.integers(2, 20), st.integers(0, 10_000))
+    @settings(max_examples=80)
+    def test_tv_le_half_sqrt_chi2(self, n, seed):
+        # dTV^2 <= chi2/4 (Cauchy-Schwarz) — the inequality Algorithm 1's
+        # completeness/soundness interplay rests on.
+        p, q = dirichlet_pair(n, seed)
+        q = (q + 1e-9) / (q + 1e-9).sum()
+        assert tv_chi2_inequality_gap(p, q) >= -1e-12
+
+    @given(st.integers(2, 20), st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_hellinger_vs_tv(self, n, seed):
+        p, q = dirichlet_pair(n, seed)
+        h, tv = hellinger_distance(p, q), tv_distance(p, q)
+        assert h * h <= tv + 1e-12
+        assert tv <= np.sqrt(2) * h + 1e-12
+
+
+class TestAkDistance:
+    def test_ell_n_equals_tv(self):
+        p, q = dirichlet_pair(15, 5)
+        assert ak_distance(p, q, 15) == pytest.approx(tv_distance(p, q))
+
+    def test_ell_one_is_zero_for_distributions(self):
+        # With partitions (not arbitrary interval collections), one interval
+        # means the full domain, where two distributions always agree.
+        p = np.array([0.6, 0.2, 0.2])
+        q = np.array([0.2, 0.2, 0.6])
+        assert ak_distance(p, q, 1) == pytest.approx(0.0)
+
+    def test_ell_two_known_value(self):
+        p = np.array([0.6, 0.2, 0.2])
+        q = np.array([0.2, 0.2, 0.6])
+        # Cut after the first point: |0.4| + |-0.4| = 0.8, halved.
+        assert ak_distance(p, q, 2) == pytest.approx(0.4)
+
+    def test_monotone_in_ell(self):
+        p, q = dirichlet_pair(30, 6)
+        values = [ak_distance(p, q, ell) for ell in (1, 2, 4, 8, 16, 30)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(tv_distance(p, q))
+
+    def test_sawtooth_invisible_at_small_ell(self):
+        # The Proposition 4.1 phenomenon: pair-level alternation has tiny
+        # A_l distance for small l but large TV.
+        n = 200
+        pmf = np.full(n, 1.0 / n)
+        pmf[0::2] += 0.5 / n
+        pmf[1::2] -= 0.5 / n
+        u = np.full(n, 1.0 / n)
+        assert tv_distance(pmf, u) == pytest.approx(0.25)
+        assert ak_distance(pmf, u, 4) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ak_distance(np.ones(2) / 2, np.ones(2) / 2, 0)
+
+    @given(st.integers(2, 8), st.integers(0, 5_000))
+    @settings(max_examples=60)
+    def test_matches_bruteforce(self, n, seed):
+        from itertools import combinations
+
+        p, q = dirichlet_pair(n, seed)
+        d = np.concatenate(([0.0], np.cumsum(p - q)))
+        for ell in range(1, n + 1):
+            best = 0.0
+            for r in range(1, ell + 1):
+                for cuts in combinations(range(1, n), r - 1):
+                    bounds = (0,) + cuts + (n,)
+                    best = max(
+                        best,
+                        sum(abs(d[bounds[i + 1]] - d[bounds[i]]) for i in range(r)),
+                    )
+            assert ak_distance(p, q, ell) == pytest.approx(0.5 * best, abs=1e-9)

@@ -1,0 +1,137 @@
+"""Tests for the k-modal substrate and the Birgé decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import families
+from repro.distributions.distances import tv_distance
+from repro.distributions.kmodal import (
+    birge_flattening,
+    birge_partition,
+    is_k_modal,
+    kmodal_histogram_pieces,
+    modes,
+    num_direction_changes,
+    random_k_modal,
+    robust_direction_changes,
+)
+
+
+class TestDirectionChanges:
+    def test_constant_zero(self):
+        assert num_direction_changes(np.full(10, 0.1)) == 0
+
+    def test_monotone_zero(self):
+        assert num_direction_changes(np.array([1.0, 2, 2, 3, 5])) == 0
+        assert num_direction_changes(np.array([5.0, 3, 3, 1])) == 0
+
+    def test_unimodal_one(self):
+        assert num_direction_changes(np.array([1.0, 3, 5, 4, 2])) == 1
+
+    def test_plateaus_do_not_count(self):
+        assert num_direction_changes(np.array([1.0, 2, 2, 2, 3])) == 0
+        assert num_direction_changes(np.array([1.0, 3, 3, 2, 2, 4])) == 2
+
+    def test_alternating(self):
+        seq = np.array([1.0, 2, 1, 2, 1, 2])
+        assert num_direction_changes(seq) == 4
+
+    def test_modes_positions(self):
+        pmf = np.array([0.1, 0.3, 0.2, 0.25, 0.15])
+        flips = modes(pmf)
+        assert len(flips) == num_direction_changes(pmf)
+
+
+class TestIsKModal:
+    def test_zipf_monotone(self):
+        assert is_k_modal(families.zipf(100, 1.0), 0)
+
+    def test_bimodal_needs_three(self):
+        bi = families.discretized_gaussian_mixture(200, [0.3, 0.7], [0.05, 0.05])
+        assert not is_k_modal(bi, 2)
+        assert is_k_modal(bi, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            is_k_modal(families.uniform(10), -1)
+
+    @given(st.integers(2, 60), st.integers(0, 6), st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_random_k_modal_membership(self, n, k, seed):
+        d = random_k_modal(n, k, rng=seed)
+        assert is_k_modal(d, k)
+        assert d.pmf.sum() == pytest.approx(1.0)
+
+
+class TestRobustDirectionChanges:
+    def test_matches_exact_at_zero_tolerance(self):
+        gen = np.random.default_rng(0)
+        for _ in range(20):
+            seq = gen.random(15)
+            assert robust_direction_changes(seq, 0.0) == num_direction_changes(seq)
+
+    def test_ignores_subtolerance_wiggles(self):
+        base = np.array([1.0, 2.0, 3.0, 4.0])
+        noisy = base + np.array([0.0, 0.05, -0.05, 0.0])
+        assert robust_direction_changes(noisy, 0.2) == 0
+
+    def test_counts_large_alternation(self):
+        seq = np.array([1.0, 3.0, 1.0, 3.0, 1.0])
+        assert robust_direction_changes(seq, 0.1) == 3
+
+    def test_noise_never_inflates_count(self):
+        gen = np.random.default_rng(1)
+        for seed in range(20):
+            true = random_k_modal(40, 2, rng=seed).pmf
+            noise_scale = 0.05 * true.mean()
+            noisy = true + gen.normal(0, noise_scale / 3, size=len(true))
+            assert robust_direction_changes(noisy, 2 * noise_scale) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            robust_direction_changes(np.array([]), 0.1)
+        with pytest.raises(ValueError):
+            robust_direction_changes(np.array([1.0, 2.0]), -0.1)
+
+
+class TestBirge:
+    def test_partition_size_logarithmic(self):
+        small = len(birge_partition(1000, 0.1))
+        big = len(birge_partition(1_000_000, 0.1))
+        assert big < 3 * small  # log growth, not polynomial
+
+    def test_partition_eps_dependence(self):
+        assert len(birge_partition(10_000, 0.05)) > len(birge_partition(10_000, 0.2))
+
+    def test_partition_geometric_widths(self):
+        p = birge_partition(10_000, 0.2)
+        lengths = p.lengths()
+        assert lengths[0] == 1
+        # Geometric growth everywhere except the final (truncated) interval.
+        assert np.all(np.diff(lengths[:-1].astype(float)) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            birge_partition(0, 0.1)
+        with pytest.raises(ValueError):
+            birge_partition(10, 0.0)
+
+    def test_flattening_close_for_monotone(self):
+        # The Birgé guarantee: O(eps) TV error for monotone distributions.
+        for dist in (families.zipf(4000, 1.0), families.geometric(4000, 0.999)):
+            flat = birge_flattening(dist, 0.1)
+            assert tv_distance(dist, flat.to_pmf()) <= 0.1
+
+    def test_flattening_close_for_k_modal(self):
+        for seed in range(5):
+            dist = random_k_modal(3000, 3, rng=seed)
+            flat = birge_flattening(dist, 0.1)
+            assert tv_distance(dist, flat.to_pmf()) <= 0.15
+            assert flat.num_pieces <= kmodal_histogram_pieces(3000, 3, 0.1)
+
+    def test_pieces_budget_formula(self):
+        assert kmodal_histogram_pieces(10_000, 0, 0.1) < kmodal_histogram_pieces(
+            10_000, 4, 0.1
+        )

@@ -1,0 +1,85 @@
+"""Tests for the SampleSource access discipline."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.sampling import SampleSource, as_source, counts_from_samples
+
+
+class TestCountsFromSamples:
+    def test_basic(self):
+        counts = counts_from_samples(np.array([0, 2, 2, 1]), 4)
+        assert counts.tolist() == [1, 1, 2, 0]
+
+    def test_empty(self):
+        assert counts_from_samples(np.array([], dtype=np.int64), 3).tolist() == [0, 0, 0]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            counts_from_samples(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            counts_from_samples(np.array([-1]), 3)
+
+
+class TestSampleSource:
+    def test_budget_accounting(self):
+        src = SampleSource(DiscreteDistribution.uniform(10), rng=0)
+        src.draw(100)
+        src.draw_counts(50)
+        src.draw_counts_poissonized(25.5)
+        assert src.samples_drawn == pytest.approx(175.5)
+
+    def test_reset_budget(self):
+        src = SampleSource(DiscreteDistribution.uniform(4), rng=0)
+        src.draw(10)
+        src.reset_budget()
+        assert src.samples_drawn == 0.0
+
+    def test_negative_draws_raise(self):
+        src = SampleSource(DiscreteDistribution.uniform(4), rng=0)
+        with pytest.raises(ValueError):
+            src.draw(-1)
+        with pytest.raises(ValueError):
+            src.draw_counts(-1)
+        with pytest.raises(ValueError):
+            src.draw_counts_poissonized(-0.5)
+
+    def test_n_exposed(self):
+        assert SampleSource(DiscreteDistribution.uniform(7)).n == 7
+
+    def test_spawn_independent_budget(self):
+        src = SampleSource(DiscreteDistribution.uniform(4), rng=0)
+        src.draw(10)
+        child = src.spawn()
+        assert child.samples_drawn == 0.0
+        child.draw(5)
+        assert src.samples_drawn == 10.0
+
+    def test_spawn_reproducible(self):
+        a = SampleSource(DiscreteDistribution.uniform(6), rng=5).spawn().draw(20)
+        b = SampleSource(DiscreteDistribution.uniform(6), rng=5).spawn().draw(20)
+        assert np.array_equal(a, b)
+
+    def test_permuted_source_marginals(self):
+        d = DiscreteDistribution(np.array([0.9, 0.05, 0.05]))
+        sigma = np.array([2, 0, 1])
+        src = SampleSource(d, rng=1).permuted(sigma)
+        counts = src.draw_counts(20_000)
+        # Mass 0.9 moved to position sigma[0] = 2.  4+ sigma margin.
+        assert counts[2] / 20_000 == pytest.approx(0.9, abs=0.02)
+
+
+class TestAsSource:
+    def test_wraps_distribution(self):
+        src = as_source(DiscreteDistribution.uniform(5), rng=0)
+        assert isinstance(src, SampleSource)
+
+    def test_passes_source_through(self):
+        src = SampleSource(DiscreteDistribution.uniform(5), rng=0)
+        assert as_source(src) is src
+
+    def test_rejects_reseeding_a_source(self):
+        src = SampleSource(DiscreteDistribution.uniform(5), rng=0)
+        with pytest.raises(ValueError):
+            as_source(src, rng=1)

@@ -1,0 +1,94 @@
+"""Tests for histogram serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import families
+from repro.distributions.serialize import (
+    FORMAT,
+    histogram_from_dict,
+    histogram_from_json,
+    histogram_to_dict,
+    histogram_to_json,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        hist = families.staircase(100, 5)
+        back = histogram_from_dict(histogram_to_dict(hist))
+        assert back.partition == hist.partition
+        assert np.allclose(back.to_pmf(), hist.to_pmf())
+
+    def test_json_round_trip(self):
+        hist = families.random_histogram(200, 7, rng=0)
+        back = histogram_from_json(histogram_to_json(hist))
+        assert np.allclose(back.to_pmf(), hist.to_pmf())
+
+    @given(st.integers(2, 60), st.integers(1, 8), st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_round_trip_property(self, n, k, seed):
+        hist = families.random_histogram(n, min(k, n), seed)
+        back = histogram_from_json(histogram_to_json(hist))
+        assert np.allclose(back.to_pmf(), hist.to_pmf(), atol=1e-12)
+
+    def test_format_tag_present(self):
+        payload = histogram_to_dict(families.staircase(10, 2))
+        assert payload["format"] == FORMAT
+
+
+class TestValidation:
+    def good(self):
+        return histogram_to_dict(families.staircase(20, 4))
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            histogram_from_dict([1, 2])
+
+    def test_rejects_wrong_format(self):
+        payload = self.good()
+        payload["format"] = "other/v9"
+        with pytest.raises(ValueError, match="format"):
+            histogram_from_dict(payload)
+
+    def test_rejects_missing_keys(self):
+        payload = self.good()
+        del payload["masses"]
+        with pytest.raises(ValueError, match="malformed"):
+            histogram_from_dict(payload)
+
+    def test_rejects_inconsistent_n(self):
+        payload = self.good()
+        payload["n"] = 99
+        with pytest.raises(ValueError, match="n="):
+            histogram_from_dict(payload)
+
+    def test_rejects_mass_count_mismatch(self):
+        payload = self.good()
+        payload["masses"] = payload["masses"][:-1]
+        with pytest.raises(ValueError, match="one mass per piece"):
+            histogram_from_dict(payload)
+
+    def test_rejects_negative_mass(self):
+        payload = self.good()
+        payload["masses"][0] = -0.1
+        with pytest.raises(ValueError, match="non-negative"):
+            histogram_from_dict(payload)
+
+    def test_rejects_badly_unnormalised(self):
+        payload = self.good()
+        payload["masses"] = [m * 2 for m in payload["masses"]]
+        with pytest.raises(ValueError, match="sum to"):
+            histogram_from_dict(payload)
+
+    def test_tolerates_json_roundoff(self):
+        payload = self.good()
+        payload["masses"][0] += 5e-7
+        hist = histogram_from_dict(payload)
+        assert hist.to_pmf().sum() == pytest.approx(1.0)
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ValueError, match="invalid JSON"):
+            histogram_from_json("{not json")

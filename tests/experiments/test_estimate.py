@@ -1,0 +1,97 @@
+"""Tests for the empirical sample-complexity bisection."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import families
+from repro.experiments.estimate import empirical_sample_complexity
+
+
+def threshold_family(critical_scale):
+    """A synthetic tester family: succeeds deterministically iff the budget
+    scale clears ``critical_scale`` (samples drawn = 1000 * scale)."""
+
+    def make(scale):
+        def tester(source):
+            source.draw(int(1000 * scale))
+            correct = scale >= critical_scale
+            # accept on complete (correct), accept on far (incorrect):
+            return correct
+
+        return tester
+
+    return make
+
+
+class TestBisection:
+    def test_finds_threshold(self):
+        # The far workload "tester" here rejects iff scale clears: encode by
+        # using the same callable; complete wants accept, far wants reject.
+        critical = 0.37
+
+        def make(scale):
+            def tester(source):
+                source.draw(int(1000 * scale))
+                if scale >= critical:
+                    # correct on both sides: accept iff workload is uniform
+                    return source.n == 100
+                return source.n != 100  # wrong on both sides
+
+            return tester
+
+        est = empirical_sample_complexity(
+            make,
+            complete=families.uniform(100),
+            far=families.uniform(101),
+            trials=3,
+            scale_lo=0.01,
+            scale_hi=2.0,
+            bisection_steps=10,
+            rng=0,
+        )
+        assert est.scale == pytest.approx(critical, rel=0.2)
+        assert est.scale_low <= est.scale
+        assert est.samples == pytest.approx(1000 * est.scale, rel=0.1)
+
+    def test_lo_success_short_circuit(self):
+        def make(scale):
+            def tester(source):
+                return source.n == 100
+
+            return tester
+
+        est = empirical_sample_complexity(
+            make,
+            complete=families.uniform(100),
+            far=families.uniform(101),
+            trials=3,
+            scale_lo=0.5,
+            rng=1,
+        )
+        assert est.scale == 0.5
+        assert est.evaluations == 1
+
+    def test_hopeless_tester_raises(self):
+        def make(scale):
+            return lambda source: False
+
+        with pytest.raises(RuntimeError):
+            empirical_sample_complexity(
+                make,
+                complete=families.uniform(100),
+                far=families.uniform(101),
+                trials=2,
+                scale_hi=2.0,
+                rng=2,
+            )
+
+    def test_validation(self):
+        make = threshold_family(0.5)
+        with pytest.raises(ValueError):
+            empirical_sample_complexity(
+                make, families.uniform(10), families.uniform(11), target_rate=0.4
+            )
+        with pytest.raises(ValueError):
+            empirical_sample_complexity(
+                make, families.uniform(10), families.uniform(11), scale_lo=0.0
+            )

@@ -1,0 +1,65 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.experiments.report import (
+    format_cell,
+    format_series,
+    format_table,
+    print_experiment,
+)
+
+
+class TestFormatCell:
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_ints_with_thousands(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_float_ranges(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(1234567.0) == "1.23e+06"
+        assert format_cell(0.00012) == "0.00012"
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(250.4) == "250"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in (lines[0], lines[2], lines[3]))
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_print_experiment_returns_banner(self, capsys):
+        banner = print_experiment("E0", ["x"], [[1]])
+        out = capsys.readouterr().out
+        assert "E0" in banner and "E0" in out
+
+
+class TestFormatSeries:
+    def test_bars_scale(self):
+        s = format_series([1, 2], [1.0, 2.0], width=10)
+        lines = s.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_empty(self):
+        assert format_series([], []) == "(empty series)"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1], [1.0, 2.0])
+
+    def test_zero_series(self):
+        s = format_series([1, 2], [0.0, 0.0])
+        assert "0" in s

@@ -1,0 +1,68 @@
+"""Tests for the trial runner."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import families
+from repro.experiments.runner import (
+    acceptance_probability,
+    rejection_probability,
+    success_probability,
+)
+
+
+def always_accept(source):
+    source.draw(10)
+    return True
+
+
+def always_reject(source):
+    source.draw(5)
+    return False
+
+
+class TestAcceptance:
+    def test_deterministic_tester(self):
+        est = acceptance_probability(families.uniform(20), always_accept, trials=10, rng=0)
+        assert est.rate == 1.0
+        assert est.accepted == 10
+        assert est.mean_samples == 10.0
+        assert est.ci_low < 1.0 <= est.ci_high
+
+    def test_rejection_view(self):
+        est = rejection_probability(families.uniform(20), always_reject, trials=8, rng=0)
+        assert est.rate == 1.0
+        assert est.mean_samples == 5.0
+
+    def test_success_probability_dispatch(self):
+        acc = success_probability(families.uniform(20), always_accept, True, 5, rng=0)
+        rej = success_probability(families.uniform(20), always_reject, False, 5, rng=0)
+        assert acc.rate == 1.0 and rej.rate == 1.0
+
+    def test_workload_factory_fresh_instances(self):
+        seen = []
+
+        def factory(gen):
+            d = families.random_histogram(30, 2, gen).to_distribution()
+            seen.append(d)
+            return d
+
+        acceptance_probability(factory, always_accept, trials=4, rng=1)
+        assert len(seen) == 4
+        assert len({hash(d) for d in seen}) > 1
+
+    def test_reproducible(self):
+        def coin_tester(source):
+            return source.draw(1)[0] % 2 == 0
+
+        a = acceptance_probability(families.uniform(10), coin_tester, trials=20, rng=7)
+        b = acceptance_probability(families.uniform(10), coin_tester, trials=20, rng=7)
+        assert a.accepted == b.accepted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            acceptance_probability(families.uniform(10), always_accept, trials=0)
+
+    def test_str(self):
+        est = acceptance_probability(families.uniform(10), always_accept, trials=3, rng=0)
+        assert "3/3" in str(est)

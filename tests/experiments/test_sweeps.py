@@ -1,0 +1,55 @@
+"""Tests for the complexity sweep driver."""
+
+import math
+
+import pytest
+
+from repro.core.config import TesterConfig
+from repro.experiments.sweeps import complexity_sweep, fit_power_law
+
+
+class TestFitPowerLaw:
+    def test_exact_power(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [3.0 * x**0.5 for x in xs]
+        assert fit_power_law(xs, ys) == pytest.approx(0.5)
+
+    def test_flat(self):
+        assert fit_power_law([1, 2, 4], [5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [2.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [2.0])
+
+
+class TestComplexitySweep:
+    CFG = TesterConfig.practical()
+
+    def test_n_sweep_shape(self):
+        sweep = complexity_sweep(
+            "n", [800, 3200], k=3, eps=0.35, config=self.CFG,
+            trials=5, bisection_steps=3, rng=0,
+        )
+        assert sweep.axis == "n"
+        assert [p.n for p in sweep.points] == [800, 3200]
+        assert all(p.estimate.samples > 0 for p in sweep.points)
+        assert not math.isnan(sweep.exponent)
+        # sublinear in n
+        assert sweep.exponent < 1.0
+
+    def test_eps_sweep_negative_exponent(self):
+        sweep = complexity_sweep(
+            "eps", [0.4, 0.2], n=1500, k=3, config=self.CFG,
+            trials=5, bisection_steps=3, rng=1,
+        )
+        assert sweep.exponent < 0  # harder as eps shrinks
+        assert sweep.axis_values() == [0.4, 0.2]
+        assert len(sweep.samples()) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            complexity_sweep("m", [1, 2])
+        with pytest.raises(ValueError):
+            complexity_sweep("n", [])

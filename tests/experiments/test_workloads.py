@@ -1,0 +1,57 @@
+"""Tests for the workload registry."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.histogram import is_k_histogram
+from repro.distributions.projection import unconstrained_l1_distance
+from repro.experiments.workloads import (
+    REGISTRY,
+    completeness_workloads,
+    get_workload,
+    make,
+    soundness_workloads,
+)
+
+
+N, K, EPS = 600, 4, 0.2
+
+
+class TestRegistry:
+    def test_lookup(self):
+        w = get_workload("staircase")
+        assert w.nature == "complete"
+        with pytest.raises(KeyError, match="available"):
+            get_workload("nope")
+
+    def test_partitioned_by_nature(self):
+        names = set(REGISTRY)
+        complete = {w.name for w in completeness_workloads()}
+        far = {w.name for w in soundness_workloads()}
+        assert complete and far
+        assert complete | far <= names
+        assert not complete & far
+
+    def test_all_instantiable_and_valid(self):
+        for name in REGISTRY:
+            dist = make(name, N, K, EPS, rng=0)
+            assert dist.n == N
+            assert dist.pmf.sum() == pytest.approx(1.0)
+
+    def test_complete_workloads_are_histograms(self):
+        for w in completeness_workloads():
+            dist = make(w.name, N, K, EPS, rng=1)
+            assert is_k_histogram(dist.pmf, K), w.name
+
+    def test_far_workloads_certified(self):
+        for w in soundness_workloads():
+            dist = make(w.name, N, K, EPS, rng=2)
+            assert unconstrained_l1_distance(dist, K) >= EPS - 1e-9, w.name
+
+    def test_reproducible(self):
+        a = make("random-histogram", N, K, EPS, rng=3)
+        b = make("random-histogram", N, K, EPS, rng=3)
+        assert a == b
+
+    def test_descriptions_present(self):
+        assert all(w.description for w in REGISTRY.values())

@@ -1,0 +1,120 @@
+"""Tests for the Proposition 4.1 construction."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.distances import tv_distance
+from repro.distributions.projection import unconstrained_l1_distance
+from repro.lowerbounds.paninski import (
+    critical_sample_size,
+    distinguishing_experiment,
+    expected_pair_statistic,
+    pair_statistic,
+    paninski_distance_lower_bound,
+    paninski_instance,
+)
+
+
+class TestInstance:
+    def test_valid_distribution(self):
+        d = paninski_instance(100, 0.1, rng=0)
+        assert d.pmf.sum() == pytest.approx(1.0)
+        assert np.all(d.pmf > 0)
+
+    def test_pair_structure(self):
+        d = paninski_instance(50 * 2, 0.1, rng=1, c=5.0)
+        pairs = d.pmf.reshape(-1, 2)
+        assert np.allclose(pairs.sum(axis=1), 2.0 / 100)
+        assert np.allclose(np.abs(pairs[:, 0] - pairs[:, 1]), 2 * 5.0 * 0.1 / 100)
+
+    def test_far_from_uniform(self):
+        d = paninski_instance(200, 0.1, rng=2, c=6.0)
+        u = np.full(200, 1 / 200)
+        assert tv_distance(d, u) == pytest.approx(6.0 * 0.1 / 2)
+
+    def test_signs_random(self):
+        a = paninski_instance(1000, 0.1, rng=3).pmf
+        b = paninski_instance(1000, 0.1, rng=4).pmf
+        assert not np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paninski_instance(7, 0.1)  # odd
+        with pytest.raises(ValueError):
+            paninski_instance(10, 0.2, c=6.0)  # c*eps >= 1
+        with pytest.raises(ValueError):
+            paninski_instance(10, 0.0)
+
+
+class TestFarnessCertificate:
+    def test_closed_form(self):
+        assert paninski_distance_lower_bound(100, 0.1, 1, c=6.0) == pytest.approx(
+            50 * 6.0 * 0.1 / 100
+        )
+
+    def test_certificate_vs_exact_dp(self):
+        n, eps, c = 120, 0.1, 6.0
+        d = paninski_instance(n, eps, rng=5, c=c)
+        for k in (1, 3, 10):
+            certified = paninski_distance_lower_bound(n, eps, k, c=c)
+            exact_lower = unconstrained_l1_distance(d, k)
+            assert exact_lower >= certified - 1e-9
+
+    def test_prop_41_epsilon_far(self):
+        # With c = 6 and k < n/3 the instance is >= eps-far (the paper's
+        # cε/3 bound; ours is even tighter).
+        n, eps = 300, 0.12
+        assert paninski_distance_lower_bound(n, eps, n // 3, c=6.0) >= eps
+
+    def test_vanishes_at_huge_k(self):
+        assert paninski_distance_lower_bound(100, 0.1, 51) == 0.0
+
+
+class TestPairStatistic:
+    def test_expectation_under_uniform(self):
+        """E[T] = 0 under uniform (60 reps, 3.5 sigma window)."""
+        from repro.distributions.discrete import DiscreteDistribution
+
+        n, m = 400, 2000.0
+        u = DiscreteDistribution.uniform(n)
+        gen = np.random.default_rng(6)
+        vals = [pair_statistic(u.sample_counts_poissonized(m, gen)) for _ in range(60)]
+        sd_mean = np.std(vals) / np.sqrt(60)
+        assert abs(np.mean(vals)) < 3.5 * sd_mean + 1e-9
+
+    def test_expectation_under_instance(self):
+        n, eps, m, c = 400, 0.1, 3000.0, 5.0
+        gen = np.random.default_rng(7)
+        vals = []
+        for _ in range(60):
+            d = paninski_instance(n, eps, gen, c=c)
+            vals.append(pair_statistic(d.sample_counts_poissonized(m, gen)))
+        assert np.mean(vals) == pytest.approx(
+            expected_pair_statistic(n, eps, m, c=c), rel=0.25
+        )
+
+    def test_odd_domain_raises(self):
+        with pytest.raises(ValueError):
+            pair_statistic(np.ones(5))
+
+
+class TestDistinguishing:
+    def test_success_monotone_in_m(self):
+        n, eps = 1000, 0.1
+        critical = critical_sample_size(n, eps)
+        low = distinguishing_experiment(n, eps, critical / 8, trials=150, rng=8)
+        high = distinguishing_experiment(n, eps, critical * 16, trials=150, rng=9)
+        assert low.success_rate < 0.75
+        assert high.success_rate > 0.9
+
+    def test_blind_below_threshold(self):
+        # Way below the critical scale the statistic is noise: success ~ 1/2.
+        n, eps = 4000, 0.05
+        r = distinguishing_experiment(n, eps, 10, trials=200, rng=10)
+        assert 0.3 < r.success_rate < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            distinguishing_experiment(100, 0.1, 50.0, trials=0)
+        with pytest.raises(ValueError):
+            critical_sample_size(1, 0.1)

@@ -1,0 +1,121 @@
+"""Tests for the Proposition 4.2 reduction and Lemma 4.4."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TesterConfig
+from repro.core.tester import test_histogram
+from repro.distributions.histogram import num_pieces
+from repro.lowerbounds.support_size import (
+    REDUCTION_EPSILON,
+    cover_experiment,
+    expected_cover,
+    permuted_cover,
+    reduction_parameters,
+    solve_suppsize_via_tester,
+    suppsize_instance,
+)
+from repro.util.intervals import cover
+
+
+class TestInstances:
+    def test_promise_met(self):
+        for small in (True, False):
+            inst = suppsize_instance(24, small, rng=0)
+            positive = inst.dist.pmf[inst.dist.pmf > 0]
+            assert np.all(positive >= 1.0 / 24 - 1e-12)
+            assert inst.dist.pmf.sum() == pytest.approx(1.0)
+
+    def test_sizes(self):
+        small = suppsize_instance(24, True, rng=1)
+        large = suppsize_instance(24, False, rng=1)
+        assert small.support_size == 8
+        assert large.support_size == 21
+
+    def test_contiguous_layout(self):
+        inst = suppsize_instance(24, True, rng=2, contiguous=True)
+        assert inst.dist.support().tolist() == list(range(8))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            suppsize_instance(4, True)
+
+    def test_small_contiguous_is_histogram(self):
+        # Embedded small-support instance is a (2s+1)-histogram.
+        inst = suppsize_instance(24, True, rng=3, contiguous=True)
+        embedded = inst.dist.embed(200)
+        assert num_pieces(embedded.pmf) <= 2 * inst.support_size + 1
+
+
+class TestLemma44:
+    def test_bound_holds(self):
+        # Monte-Carlo probability must sit below 7l/n (500 trials; the
+        # empirical value is essentially 0 at these scales).
+        exp = cover_experiment(3000, 60, trials=500, rng=4)
+        assert exp.empirical_probability <= exp.lemma_bound
+
+    def test_mean_cover_matches_border_count(self):
+        exp = cover_experiment(2000, 100, trials=400, rng=5)
+        assert exp.mean_cover == pytest.approx(expected_cover(100, 2000), rel=0.05)
+
+    def test_permuted_cover_range(self):
+        support = np.arange(50)
+        c = permuted_cover(support, 1000, rng=6)
+        assert 1 <= c <= 50
+
+    def test_cover_of_full_domain_is_one(self):
+        assert cover(range(10), 10) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cover_experiment(10, 0, 5)
+        with pytest.raises(ValueError):
+            cover_experiment(10, 11, 5)
+        with pytest.raises(ValueError):
+            cover_experiment(10, 5, 0)
+
+
+class TestReduction:
+    def test_parameters(self):
+        m, eps = reduction_parameters(9)
+        assert m == 12
+        assert eps == REDUCTION_EPSILON
+        with pytest.raises(ValueError):
+            reduction_parameters(2)
+
+    def test_reduction_decides_suppsize(self):
+        """The headline of Proposition 4.2: a correct histogram tester,
+        used as a black box, solves SUPPSIZE (6 instances, both sides)."""
+        config = TesterConfig.practical()
+
+        def tester(source, k, eps):
+            return test_histogram(source, k, eps, config=config).accept
+
+        m, _ = reduction_parameters(11)
+        n = 80 * m
+        correct = 0
+        for seed in range(6):
+            small = seed % 2 == 0
+            inst = suppsize_instance(m, small, rng=seed)
+            guess = solve_suppsize_via_tester(inst, n, tester, rng=50 + seed)
+            correct += guess == small
+        assert correct >= 5
+
+    def test_majority_uses_fresh_permutations(self):
+        calls = []
+
+        def fake_tester(source, k, eps):
+            calls.append(source)
+            return True
+
+        inst = suppsize_instance(12, True, rng=7)
+        solve_suppsize_via_tester(inst, 900, fake_tester, repeats=5, rng=8)
+        assert len(calls) == 5
+        assert len({id(c) for c in calls}) == 5
+
+    def test_validation(self):
+        inst = suppsize_instance(12, True, rng=9)
+        with pytest.raises(ValueError):
+            solve_suppsize_via_tester(inst, 6, lambda s, k, e: True)
+        with pytest.raises(ValueError):
+            solve_suppsize_via_tester(inst, 900, lambda s, k, e: True, repeats=0)

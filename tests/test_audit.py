@@ -1,0 +1,92 @@
+"""Tests for the high-level dataset audit API."""
+
+import numpy as np
+import pytest
+
+from repro import families
+from repro.audit import (
+    audit_histogram,
+    recommend_buckets,
+    recommendation_dataset_size,
+    required_dataset_size,
+)
+from repro.core.config import TesterConfig
+from repro.distributions.replay import InsufficientSamples
+
+# Small domain keeps the in-memory datasets around 100 MB at the full
+# practical budget.  (Down-scaling the budget instead would shrink the χ²
+# threshold-to-noise ratio — which is n-independent — and make verdicts
+# flaky; see the noise-floor discussion in TesterConfig.practical.)
+N, K, EPS = 300, 3, 0.35
+CFG = TesterConfig.practical()
+
+
+def histogram_dataset(extra=100_000, seed=0):
+    dist = families.staircase(N, K).to_distribution()
+    size = required_dataset_size(N, K, EPS, CFG) + extra
+    return dist.sample(size, rng=seed)
+
+
+class TestRequiredSize:
+    def test_covers_actual_usage(self):
+        data = histogram_dataset()
+        report = audit_histogram(data, K, EPS, config=CFG, rng=1)
+        assert report.observations_used <= required_dataset_size(N, K, EPS, CFG)
+
+    def test_monotone_in_parameters(self):
+        assert required_dataset_size(4 * N, K, EPS, CFG) > required_dataset_size(
+            N, K, EPS, CFG
+        )
+        assert required_dataset_size(N, K, EPS / 2, CFG) > required_dataset_size(
+            N, K, EPS, CFG
+        )
+
+
+class TestAudit:
+    def test_accepts_histogram_column(self):
+        report = audit_histogram(histogram_dataset(seed=2), K, EPS, config=CFG, rng=3)
+        assert report.histogram_ok
+        assert report.summary is not None
+        assert report.summary.num_pieces <= K
+        assert report.n == N
+
+    def test_rejects_messy_column(self):
+        far = families.far_from_hk(N, K, EPS, rng=4)
+        size = required_dataset_size(N, K, EPS, CFG)
+        data = far.sample(size, rng=5)
+        report = audit_histogram(data, K, EPS, config=CFG, rng=6)
+        assert not report.histogram_ok
+        assert report.summary is None
+
+    def test_small_dataset_raises_with_guidance(self):
+        data = histogram_dataset(seed=7)[:5000]
+        with pytest.raises(InsufficientSamples, match="collect more data"):
+            audit_histogram(data, K, EPS, config=CFG, rng=8)
+
+    def test_learn_on_accept_optional(self):
+        report = audit_histogram(
+            histogram_dataset(seed=9), K, EPS, config=CFG, learn_on_accept=False, rng=10
+        )
+        assert report.histogram_ok and report.summary is None
+
+    def test_explicit_domain(self):
+        data = histogram_dataset(seed=11)
+        report = audit_histogram(data, K, EPS, n=N + 500, config=CFG, rng=12)
+        assert report.n == N + 500
+
+
+class TestRecommendation:
+    def test_recommends_small_k_for_coarse_column(self):
+        n = 300
+        dist = families.staircase(n, 3, ratio=4.0).to_distribution()
+        size = recommendation_dataset_size(n, 8, 0.35, config=CFG, repeats=1)
+        data = dist.sample(size, rng=13)
+        rec = recommend_buckets(data, 0.35, k_max=8, config=CFG, repeats=1, rng=14)
+        assert 1 <= rec.k <= 6
+        assert rec.summary.num_pieces <= rec.k
+        assert rec.trace[rec.k] is True
+
+    def test_insufficient_data_raises_with_hint(self):
+        data = np.zeros(1000, dtype=np.int64)
+        with pytest.raises(InsufficientSamples):
+            recommend_buckets(data, 0.3, n=1000, k_max=16, config=CFG, repeats=1, rng=15)

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_test_command_parses(self):
+        args = build_parser().parse_args(
+            ["test", "staircase", "--n", "500", "--k", "3", "--eps", "0.4"]
+        )
+        assert args.workload == "staircase"
+        assert args.n == 500
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["test", "nope"])
+
+
+class TestCommands:
+    def test_test_accepts_histogram(self, capsys):
+        rc = main(["test", "staircase", "--n", "1500", "--k", "4", "--eps", "0.3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ACCEPT" in out
+        assert "samples" in out
+
+    def test_test_rejects_far(self, capsys):
+        rc = main(
+            ["test", "sawtooth-uniform", "--n", "1500", "--k", "4", "--eps", "0.3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "REJECT" in out
+
+    def test_budget(self, capsys):
+        rc = main(["budget", "--n", "100000", "--k", "8", "--eps", "0.1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ILR12" in out and "CDGR16" in out
+
+    def test_select(self, capsys):
+        rc = main(
+            ["select", "uniform", "--n", "1000", "--eps", "0.4", "--k-max", "8",
+             "--repeats", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "selected k : 1" in out

