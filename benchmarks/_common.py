@@ -1,4 +1,4 @@
-"""Shared scaffolding for the experiment benchmarks (E1–E16).
+"""Shared scaffolding for the experiment benchmarks (E1–E20).
 
 Each ``bench_eNN_*.py`` regenerates one table/figure from DESIGN.md's
 experiment index and prints it through
@@ -6,11 +6,20 @@ experiment index and prints it through
 machine-dependent; the *shape* assertions (who wins, monotonicity,
 threshold locations) are encoded as soft checks that print WARN rather than
 fail, since benchmarks are measurements, not tests.
+
+Long-running benchmarks iterate their grid through
+:func:`checkpointed_loop`, which persists completed rows to an atomic JSON
+checkpoint after every point — a benchmark killed mid-run (SIGINT, OOM)
+resumes from the last completed point instead of starting over.
 """
 
 from __future__ import annotations
 
+import os
+from typing import Any, Callable, Sequence
+
 from repro.core.config import TesterConfig
+from repro.robustness.checkpoint import load_if_matching, resolve_store
 
 #: The default scale every benchmark runs at unless it sweeps the axis.
 N = 4096
@@ -23,3 +32,38 @@ CONFIG = TesterConfig.practical()
 def check(label: str, condition: bool) -> None:
     """Soft shape assertion: print PASS/WARN without failing the bench."""
     print(f"  shape[{label}]: {'PASS' if condition else 'WARN'}")
+
+
+def checkpointed_loop(
+    points: Sequence[Any],
+    compute: Callable[[Any], Any],
+    *,
+    checkpoint: "str | os.PathLike | None" = None,
+    fingerprint: dict[str, Any] | None = None,
+    resume: bool = True,
+) -> list[Any]:
+    """Map ``compute`` over ``points``, checkpointing one row per point.
+
+    Rows must be JSON-serialisable.  With a ``checkpoint`` path, completed
+    rows are saved atomically after every point; a rerun with a matching
+    ``fingerprint`` (and ``resume=True``) skips the already-computed prefix.
+    A mismatched fingerprint — different grid, profile, or trial count —
+    discards the stale checkpoint rather than splicing incompatible rows.
+    """
+    store = resolve_store(checkpoint)
+    if store is None:
+        return [compute(point) for point in points]
+    fingerprint = fingerprint or {}
+    rows: list[Any] = []
+    if resume:
+        state = load_if_matching(store, fingerprint)
+        if state is not None:
+            rows = list(state.get("rows", []))[: len(points)]
+            if rows:
+                print(f"  (resumed {len(rows)}/{len(points)} points from {store.path})")
+    else:
+        store.clear()
+    for point in points[len(rows) :]:
+        rows.append(compute(point))
+        store.save({"fingerprint": fingerprint, "rows": rows})
+    return rows

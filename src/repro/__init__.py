@@ -23,7 +23,9 @@ Top-level re-exports cover the common surface; sub-packages hold the rest:
 * :mod:`repro.baselines` — prior-work testers ([ILR12], [CDGR16], …);
 * :mod:`repro.learning` — agnostic histogram learning & model selection;
 * :mod:`repro.lowerbounds` — the Section 4 constructions (Theorem 1.2);
-* :mod:`repro.experiments` — the evaluation harness behind benchmarks/.
+* :mod:`repro.experiments` — the evaluation harness behind benchmarks/;
+* :mod:`repro.robustness` — fault injection, retry/deadline isolation, and
+  checkpoint/resume for fault-tolerant experiment execution.
 """
 
 from repro.audit import audit_histogram, recommend_buckets
@@ -33,15 +35,19 @@ from repro.distributions import families
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.histogram import Histogram, is_k_histogram
 from repro.distributions.replay import ReplaySource
-from repro.distributions.sampling import SampleSource
+from repro.distributions.sampling import SampleBudgetExceeded, SampleSource
+from repro.robustness import FaultConfig, FaultInjectingSource
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DiscreteDistribution",
+    "FaultConfig",
+    "FaultInjectingSource",
     "Histogram",
     "HistogramTester",
     "ReplaySource",
+    "SampleBudgetExceeded",
     "SampleSource",
     "TesterConfig",
     "Verdict",

@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command> …``.
 
-Three subcommands mirroring the library's main entry points:
+Four subcommands mirroring the library's main entry points:
 
 * ``test``    — run Algorithm 1 on a named workload;
 * ``select``  — model selection (smallest ε-sufficient k) on a workload;
-* ``budget``  — print the sample-budget landscape for given (n, k, ε).
+* ``budget``  — print the sample-budget landscape for given (n, k, ε);
+* ``sweep``   — empirical sample-complexity sweep along one axis, with
+  ``--checkpoint``/``--resume`` for interruption-safe long runs.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from repro.core.budget import budget_table_row
 from repro.core.config import TesterConfig
 from repro.core.tester import test_histogram
 from repro.experiments.report import format_table
+from repro.experiments.sweeps import complexity_sweep
 from repro.experiments.workloads import REGISTRY, make
 from repro.learning.model_selection import select_k
 
@@ -81,6 +84,39 @@ def _cmd_budget(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    values = [float(v) for v in args.values.split(",") if v.strip()]
+    if not values:
+        raise SystemExit("--values must name at least one axis value")
+    result = complexity_sweep(
+        args.axis,
+        values,
+        n=args.n,
+        k=args.k,
+        eps=args.eps,
+        config=_config(args),
+        trials=args.trials,
+        bisection_steps=args.bisection_steps,
+        rng=args.seed,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    rows = [
+        [getattr(p, result.axis), p.estimate.samples, p.estimate.scale,
+         p.estimate.evaluations]
+        for p in result.points
+    ]
+    print(
+        format_table(
+            [result.axis, "samples/trial", "budget scale", "evaluations"], rows
+        )
+    )
+    print(f"fitted exponent: {result.exponent:.3f}")
+    if args.checkpoint:
+        print(f"checkpoint     : {args.checkpoint}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -103,6 +139,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_budget = sub.add_parser("budget", help="print the sample-budget landscape")
     _add_common(p_budget)
     p_budget.set_defaults(func=_cmd_budget)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="empirical sample-complexity sweep along one axis"
+    )
+    p_sweep.add_argument("axis", choices=["n", "k", "eps"], help="axis to sweep")
+    p_sweep.add_argument(
+        "--values",
+        required=True,
+        help="comma-separated axis values, e.g. 1000,2000,4000",
+    )
+    _add_common(p_sweep)
+    p_sweep.add_argument("--trials", type=int, default=9, help="trials per evaluation")
+    p_sweep.add_argument(
+        "--bisection-steps", type=int, default=5, help="budget-bisection refinements"
+    )
+    p_sweep.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="save progress to this JSON file after every completed point",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        default=False,
+        help="continue a matching checkpoint instead of discarding it",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 

@@ -84,6 +84,41 @@ class TesterConfig:
     #: breakpoint-misaligned histograms — kept for experiment E15.
     sieve_enabled: bool = True
 
+    #: Multiplicative factors: must be strictly positive (a zero or negative
+    #: factor silently produces nonsense budgets downstream).
+    _POSITIVE_FIELDS = (
+        "partition_b_factor",
+        "partition_sample_factor",
+        "learner_sample_factor",
+        "chi2_sample_factor",
+        "sieve_heavy_factor",
+        "sieve_accept_factor",
+        "sieve_residual_factor",
+        "sieve_rounds_factor",
+        "budget_scale",
+    )
+    #: Fractions of ε (or of an expectation): must lie in (0, 1].
+    _FRACTION_FIELDS = (
+        "learner_eps_fraction",
+        "chi2_accept_fraction",
+        "chi2_truncation",
+        "final_eps_fraction",
+        "check_tolerance_fraction",
+        "sieve_alpha_fraction",
+    )
+
+    def __post_init__(self) -> None:
+        for name in self._POSITIVE_FIELDS:
+            value = getattr(self, name)
+            if not value > 0:
+                raise ValueError(f"{name} must be strictly positive, got {value}")
+        for name in self._FRACTION_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        if self.chi2_repeats is not None and self.chi2_repeats < 1:
+            raise ValueError(f"chi2_repeats must be positive, got {self.chi2_repeats}")
+
     # -- profiles -----------------------------------------------------------
 
     @classmethod

@@ -53,6 +53,7 @@ class GriddedSource(SampleSource):
         low: float = 0.0,
         high: float = 1.0,
         rng: RandomState = None,
+        max_samples: float | None = None,
     ) -> None:
         if n < 1:
             raise ValueError(f"grid size must be positive, got {n}")
@@ -63,18 +64,11 @@ class GriddedSource(SampleSource):
         self._high = high
         self._grid_n = n
         self._grid_rng = ensure_rng(rng)
-        self._drawn = 0.0
+        self._init_accounting(max_samples)
 
     @property
     def n(self) -> int:
         return self._grid_n
-
-    @property
-    def samples_drawn(self) -> float:
-        return self._drawn
-
-    def reset_budget(self) -> None:
-        self._drawn = 0.0
 
     def _grid(self, reals: np.ndarray) -> np.ndarray:
         scaled = (np.asarray(reals, dtype=np.float64) - self._low) / (self._high - self._low)
@@ -82,9 +76,7 @@ class GriddedSource(SampleSource):
         return np.clip(cells, 0, self._grid_n - 1)
 
     def draw(self, m: int) -> np.ndarray:
-        if m < 0:
-            raise ValueError(f"sample size must be non-negative, got {m}")
-        self._drawn += m
+        self._charge(m)
         if m == 0:
             return np.empty(0, dtype=np.int64)
         return self._grid(self._sampler(self._grid_rng, m))
@@ -93,17 +85,16 @@ class GriddedSource(SampleSource):
         return np.bincount(self.draw(m), minlength=self._grid_n).astype(np.int64)
 
     def draw_counts_poissonized(self, m: float) -> np.ndarray:
-        if m < 0:
-            raise ValueError(f"expected sample size must be non-negative, got {m}")
         # Poissonize the total, then grid the individual draws; accounting
         # charges the expectation, as everywhere else.
+        self._check_budget(m)
         realised = int(self._grid_rng.poisson(m))
         counts = np.bincount(
             self._grid(self._sampler(self._grid_rng, realised)) if realised else
             np.empty(0, dtype=np.int64),
             minlength=self._grid_n,
         ).astype(np.int64)
-        self._drawn += m
+        self._record(m)
         return counts
 
     def spawn(self) -> "GriddedSource":
@@ -115,6 +106,7 @@ class GriddedSource(SampleSource):
             low=self._low,
             high=self._high,
             rng=child_rng(self._grid_rng),
+            max_samples=self._max_samples,
         )
 
     def permuted(self, sigma: np.ndarray) -> SampleSource:

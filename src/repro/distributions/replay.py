@@ -57,6 +57,7 @@ class ReplaySource(SampleSource):
         *,
         shuffle: bool = True,
         rng: RandomState = None,
+        max_samples: float | None = None,
     ) -> None:
         data = np.asarray(observations, dtype=np.int64)
         if data.ndim != 1 or len(data) == 0:
@@ -74,23 +75,16 @@ class ReplaySource(SampleSource):
         self._data = data
         self._n = int(n)
         self._cursor = 0
-        self._drawn = 0.0
+        self._init_accounting(max_samples)
 
     @property
     def n(self) -> int:
         return self._n
 
     @property
-    def samples_drawn(self) -> float:
-        return self._drawn
-
-    @property
     def remaining(self) -> int:
         """Observations not yet served."""
         return len(self._data) - self._cursor
-
-    def reset_budget(self) -> None:
-        self._drawn = 0.0
 
     def rewind(self) -> None:
         """Restart from the beginning (reuses data — only statistically
@@ -105,21 +99,19 @@ class ReplaySource(SampleSource):
         return block
 
     def draw(self, m: int) -> np.ndarray:
-        if m < 0:
-            raise ValueError(f"sample size must be non-negative, got {m}")
+        self._check_budget(m)
         block = self._take(m)
-        self._drawn += m
+        self._record(m)
         return block
 
     def draw_counts(self, m: int) -> np.ndarray:
         return np.bincount(self.draw(m), minlength=self._n).astype(np.int64)
 
     def draw_counts_poissonized(self, m: float) -> np.ndarray:
-        if m < 0:
-            raise ValueError(f"expected sample size must be non-negative, got {m}")
+        self._check_budget(m)
         realised = int(self._rng.poisson(m))
         block = self._take(realised)
-        self._drawn += m
+        self._record(m)
         return np.bincount(block, minlength=self._n).astype(np.int64)
 
     def spawn(self) -> "ReplaySource":
@@ -136,4 +128,10 @@ class ReplaySource(SampleSource):
         ):
             raise ValueError("sigma must be a permutation of the domain")
         remaining = self._data[self._cursor :]
-        return ReplaySource(sigma[remaining], self._n, shuffle=False, rng=self._rng)
+        return ReplaySource(
+            sigma[remaining],
+            self._n,
+            shuffle=False,
+            rng=self._rng,
+            max_samples=self._max_samples,
+        )

@@ -23,18 +23,73 @@ def counts_from_samples(samples: np.ndarray, n: int) -> np.ndarray:
     return np.bincount(samples, minlength=n).astype(np.int64)
 
 
+class SampleBudgetExceeded(RuntimeError):
+    """A draw would push a capped source past its ``max_samples`` limit.
+
+    Raised *before* any samples are served, so a capped source never
+    over-delivers: a runaway configuration fails fast instead of simulating
+    forever.  See :func:`repro.core.budget.capped_source` for deriving a cap
+    from the closed-form budget of Algorithm 1.
+    """
+
+    def __init__(self, requested: float, drawn: float, max_samples: float) -> None:
+        super().__init__(
+            f"sample budget exhausted: draw of {requested:,.0f} would bring the "
+            f"total to {drawn + requested:,.0f}, over the cap of "
+            f"{max_samples:,.0f} — raise max_samples or shrink the "
+            "configuration (see repro.core.budget.algorithm1_budget)"
+        )
+        self.requested = requested
+        self.drawn = drawn
+        self.max_samples = max_samples
+
+
 class SampleSource:
     """Sample-only access to an unknown distribution, with budget accounting.
 
     ``poissonized`` draws report the *expected* number of samples to the
     budget (the standard accounting under the Poissonization trick: the
     realised ``Poisson(m)`` count concentrates around ``m``).
+
+    ``max_samples`` optionally caps the *per-trial* total: a draw that would
+    exceed it raises :class:`SampleBudgetExceeded` before serving anything.
+    ``reset_budget`` restarts the per-trial counter (and the headroom under
+    the cap) while :attr:`lifetime_drawn` keeps the cumulative audit total.
     """
 
-    def __init__(self, dist: DiscreteDistribution, rng: RandomState = None) -> None:
+    def __init__(
+        self,
+        dist: DiscreteDistribution,
+        rng: RandomState = None,
+        *,
+        max_samples: float | None = None,
+    ) -> None:
         self._dist = dist
         self._rng = ensure_rng(rng)
+        self._init_accounting(max_samples)
+
+    # -- budget accounting (shared with every SampleSource subclass) -------
+
+    def _init_accounting(self, max_samples: float | None) -> None:
+        if max_samples is not None and max_samples <= 0:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
+        self._max_samples = None if max_samples is None else float(max_samples)
         self._drawn = 0.0
+        self._lifetime_drawn = 0.0
+
+    def _check_budget(self, m: float) -> None:
+        if m < 0:
+            raise ValueError(f"sample size must be non-negative, got {m}")
+        if self._max_samples is not None and self._drawn + m > self._max_samples:
+            raise SampleBudgetExceeded(m, self._drawn, self._max_samples)
+
+    def _record(self, m: float) -> None:
+        self._drawn += m
+        self._lifetime_drawn += m
+
+    def _charge(self, m: float) -> None:
+        self._check_budget(m)
+        self._record(m)
 
     @property
     def n(self) -> int:
@@ -43,38 +98,51 @@ class SampleSource:
 
     @property
     def samples_drawn(self) -> float:
-        """Total samples charged so far (expected counts for Poisson draws)."""
+        """Samples charged since the last ``reset_budget`` (expected counts
+        for Poisson draws)."""
         return self._drawn
 
+    @property
+    def lifetime_drawn(self) -> float:
+        """Cumulative samples charged over the source's whole life.
+
+        Unlike :attr:`samples_drawn` this is never reset: it audits total
+        draw volume across trials even when per-trial counters are zeroed.
+        """
+        return self._lifetime_drawn
+
+    @property
+    def max_samples(self) -> float | None:
+        """The per-trial hard cap, or ``None`` when unenforced."""
+        return self._max_samples
+
     def reset_budget(self) -> None:
-        """Zero the sample counter (e.g. between independent trials)."""
+        """Zero the per-trial sample counter (e.g. between independent
+        trials).  :attr:`lifetime_drawn` is unaffected."""
         self._drawn = 0.0
 
     def draw(self, m: int) -> np.ndarray:
         """``m`` i.i.d. samples as domain indices."""
-        if m < 0:
-            raise ValueError(f"sample size must be non-negative, got {m}")
-        self._drawn += m
+        self._charge(m)
         return self._dist.sample(m, self._rng)
 
     def draw_counts(self, m: int) -> np.ndarray:
         """Occurrence counts of ``m`` i.i.d. samples."""
-        if m < 0:
-            raise ValueError(f"sample size must be non-negative, got {m}")
-        self._drawn += m
+        self._charge(m)
         return self._dist.sample_counts(m, self._rng)
 
     def draw_counts_poissonized(self, m: float) -> np.ndarray:
         """Independent per-element counts ``N_i ~ Poisson(m · D(i))``."""
-        if m < 0:
-            raise ValueError(f"expected sample size must be non-negative, got {m}")
-        self._drawn += m
+        self._charge(m)
         return self._dist.sample_counts_poissonized(m, self._rng)
 
     def spawn(self) -> "SampleSource":
         """An independent source over the same distribution (fresh stream),
-        sharing no budget with the parent — used for trial isolation."""
-        return SampleSource(self._dist, child_rng(self._rng))
+        sharing no budget with the parent — used for trial isolation.  The
+        per-trial cap (if any) carries over with fresh headroom."""
+        return SampleSource(
+            self._dist, child_rng(self._rng), max_samples=self._max_samples
+        )
 
     def permuted(self, sigma: np.ndarray) -> "SampleSource":
         """A source for the relabeled distribution ``D ∘ σ⁻¹``.
@@ -83,7 +151,11 @@ class SampleSource:
         the samples according to σ" — samples from the permuted source are
         exactly ``σ(s)`` for ``s`` drawn from the original.
         """
-        return SampleSource(self._dist.permute(sigma), child_rng(self._rng))
+        return SampleSource(
+            self._dist.permute(sigma),
+            child_rng(self._rng),
+            max_samples=self._max_samples,
+        )
 
 
 def as_source(

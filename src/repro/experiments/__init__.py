@@ -4,8 +4,10 @@ from repro.experiments.estimate import ComplexityEstimate, empirical_sample_comp
 from repro.experiments.report import format_series, format_table, print_experiment
 from repro.experiments.runner import (
     AcceptanceEstimate,
+    RobustAcceptanceEstimate,
     acceptance_probability,
     rejection_probability,
+    robust_acceptance_probability,
     success_probability,
 )
 from repro.experiments.workloads import (
@@ -21,8 +23,10 @@ __all__ = [
     "REGISTRY",
     "AcceptanceEstimate",
     "ComplexityEstimate",
+    "RobustAcceptanceEstimate",
     "Workload",
     "acceptance_probability",
+    "robust_acceptance_probability",
     "completeness_workloads",
     "empirical_sample_complexity",
     "format_series",

@@ -17,7 +17,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.experiments.runner import Tester, Workload, success_probability
+from repro.experiments.runner import SourceWrapper, Tester, Workload, success_probability
+from repro.robustness.resilience import TrialPolicy
 from repro.util.rng import RandomState, ensure_rng, spawn_rngs
 
 #: ``make_tester(scale) -> tester`` — a tester family indexed by budget.
@@ -43,6 +44,8 @@ def _succeeds(
     trials: int,
     target_rate: float,
     rng: RandomState,
+    policy: TrialPolicy | None = None,
+    wrap_source: SourceWrapper | None = None,
 ) -> tuple[bool, float]:
     """Does the tester at this budget clear the bar on both sides?
 
@@ -50,10 +53,14 @@ def _succeeds(
     """
     rng_a, rng_b = spawn_rngs(rng, 2)
     tester = family(scale)
-    comp = success_probability(complete, tester, True, trials, rng_a)
+    comp = success_probability(
+        complete, tester, True, trials, rng_a, policy=policy, wrap_source=wrap_source
+    )
     if comp.rate < target_rate:
         return False, comp.mean_samples
-    sound = success_probability(far, tester, False, trials, rng_b)
+    sound = success_probability(
+        far, tester, False, trials, rng_b, policy=policy, wrap_source=wrap_source
+    )
     mean = 0.5 * (comp.mean_samples + sound.mean_samples)
     return sound.rate >= target_rate, mean
 
@@ -69,12 +76,17 @@ def empirical_sample_complexity(
     scale_hi: float = 4.0,
     bisection_steps: int = 7,
     rng: RandomState = None,
+    policy: TrialPolicy | None = None,
+    wrap_source: SourceWrapper | None = None,
 ) -> ComplexityEstimate:
     """Bisect the budget scale for the smallest 2/3-successful budget.
 
     ``scale_hi`` must succeed (it is verified first and doubled up to 3
     times otherwise); ``scale_lo`` is assumed to fail (verified as well —
     if it succeeds, it is returned directly as an upper bound).
+
+    ``policy`` / ``wrap_source`` opt the trial loops into the fault-tolerant
+    runner path (see :func:`repro.experiments.runner.success_probability`).
     """
     if not 0.5 < target_rate <= 1.0:
         raise ValueError(f"target rate must be in (0.5, 1], got {target_rate}")
@@ -83,18 +95,24 @@ def empirical_sample_complexity(
     gen = ensure_rng(rng)
     evaluations = 0
 
-    ok_lo, samples_lo = _succeeds(family, scale_lo, complete, far, trials, target_rate, gen)
+    ok_lo, samples_lo = _succeeds(
+        family, scale_lo, complete, far, trials, target_rate, gen, policy, wrap_source
+    )
     evaluations += 1
     if ok_lo:
         return ComplexityEstimate(samples_lo, scale_lo, 0.0, evaluations, target_rate)
 
     hi = scale_hi
-    ok_hi, samples_hi = _succeeds(family, hi, complete, far, trials, target_rate, gen)
+    ok_hi, samples_hi = _succeeds(
+        family, hi, complete, far, trials, target_rate, gen, policy, wrap_source
+    )
     evaluations += 1
     doublings = 0
     while not ok_hi and doublings < 3:
         hi *= 4.0
-        ok_hi, samples_hi = _succeeds(family, hi, complete, far, trials, target_rate, gen)
+        ok_hi, samples_hi = _succeeds(
+            family, hi, complete, far, trials, target_rate, gen, policy, wrap_source
+        )
         evaluations += 1
         doublings += 1
     if not ok_hi:
@@ -106,7 +124,9 @@ def empirical_sample_complexity(
     best_scale, best_samples = hi, samples_hi
     for _ in range(bisection_steps):
         mid = math.exp(0.5 * (math.log(lo) + math.log(hi)))
-        ok, samples = _succeeds(family, mid, complete, far, trials, target_rate, gen)
+        ok, samples = _succeeds(
+            family, mid, complete, far, trials, target_rate, gen, policy, wrap_source
+        )
         evaluations += 1
         if ok:
             hi, best_scale, best_samples = mid, mid, samples

@@ -9,6 +9,7 @@ confidence intervals and exact sample accounting.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Union
 
@@ -16,7 +17,15 @@ import numpy as np
 
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.sampling import SampleSource
-from repro.util.rng import RandomState, ensure_rng, spawn_rngs
+from repro.robustness.resilience import (
+    Deadline,
+    DeadlineSource,
+    TooManyTrialFailures,
+    TrialFailure,
+    TrialPolicy,
+    run_with_retry,
+)
+from repro.util.rng import RandomState, child_rng, ensure_rng, spawn_rngs
 from repro.util.stats import wilson_interval
 
 #: A workload is either a fixed distribution or a per-trial factory.
@@ -24,6 +33,11 @@ Workload = Union[DiscreteDistribution, Callable[[np.random.Generator], DiscreteD
 
 #: A tester is any callable judging a sample source.
 Tester = Callable[[SampleSource], bool]
+
+#: Per-trial source decorator: wraps the trial's fresh source (e.g. in a
+#: :class:`~repro.robustness.faults.FaultInjectingSource`); the generator is
+#: the trial's own stream, so wrappers stay reproducible per trial.
+SourceWrapper = Callable[[SampleSource, np.random.Generator], SampleSource]
 
 
 @dataclass(frozen=True)
@@ -111,8 +125,145 @@ def success_probability(
     should_accept: bool,
     trials: int,
     rng: RandomState = None,
+    *,
+    policy: TrialPolicy | None = None,
+    wrap_source: SourceWrapper | None = None,
 ) -> AcceptanceEstimate:
-    """Acceptance or rejection rate, whichever counts as success."""
+    """Acceptance or rejection rate, whichever counts as success.
+
+    With a ``policy`` (or ``wrap_source``), trials run through the
+    fault-isolating :func:`robust_acceptance_probability` path instead of
+    the bare loop.
+    """
+    if policy is None and wrap_source is None:
+        if should_accept:
+            return acceptance_probability(workload, tester, trials, rng)
+        return rejection_probability(workload, tester, trials, rng)
+    estimate = robust_acceptance_probability(
+        workload, tester, trials, rng, policy=policy, wrap_source=wrap_source
+    )
     if should_accept:
-        return acceptance_probability(workload, tester, trials, rng)
-    return rejection_probability(workload, tester, trials, rng)
+        return estimate
+    low, high = wilson_interval(estimate.trials - estimate.accepted, estimate.trials)
+    return RobustAcceptanceEstimate(
+        accepted=estimate.trials - estimate.accepted,
+        trials=estimate.trials,
+        rate=1.0 - estimate.rate,
+        ci_low=low,
+        ci_high=high,
+        mean_samples=estimate.mean_samples,
+        failures=estimate.failures,
+        attempted=estimate.attempted,
+    )
+
+
+@dataclass(frozen=True)
+class RobustAcceptanceEstimate(AcceptanceEstimate):
+    """An acceptance estimate whose loop survived isolated trial failures.
+
+    ``trials`` counts only *completed* trials (the binomial analysis runs
+    over them); ``attempted`` counts every trial started, and ``failures``
+    holds one structured record per trial that was dropped after exhausting
+    its retries.
+    """
+
+    failures: tuple[TrialFailure, ...] = ()
+    attempted: int = 0
+
+    @property
+    def failure_rate(self) -> float:
+        return len(self.failures) / self.attempted if self.attempted else 0.0
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.failures:
+            return base
+        return f"{base} [{len(self.failures)}/{self.attempted} trials failed]"
+
+
+def robust_acceptance_probability(
+    workload: Workload,
+    tester: Tester,
+    trials: int,
+    rng: RandomState = None,
+    *,
+    policy: TrialPolicy | None = None,
+    wrap_source: SourceWrapper | None = None,
+) -> RobustAcceptanceEstimate:
+    """Like :func:`acceptance_probability`, with trial-level fault isolation.
+
+    Each trial runs under ``policy``: transient stream errors are retried on
+    a *fresh* sub-stream (deterministic faults would otherwise repeat
+    forever), the per-trial wall-clock deadline and sample cap are enforced,
+    and a trial that still fails is recorded as a
+    :class:`~repro.robustness.resilience.TrialFailure` while the estimate
+    proceeds over the surviving trials.  Only when the failure rate exceeds
+    ``policy.max_failure_rate`` (or no trial completes) does the whole
+    estimate fail, with
+    :class:`~repro.robustness.resilience.TooManyTrialFailures`.
+
+    ``wrap_source`` decorates each trial's source — the hook fault-injection
+    experiments use to corrupt the stream the tester sees.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if policy is None:
+        policy = TrialPolicy()
+    streams = spawn_rngs(rng, trials)
+    accepted = 0
+    total_samples = 0.0
+    failures: list[TrialFailure] = []
+
+    for index, trial_stream in enumerate(streams):
+        deadline = (
+            Deadline(policy.trial_timeout) if policy.trial_timeout is not None else None
+        )
+        started = time.monotonic()
+        last_attempt = [0]
+
+        def attempt(attempt_number: int, _stream=trial_stream) -> tuple[bool, float]:
+            last_attempt[0] = attempt_number
+            gen = child_rng(_stream)
+            dist = _materialise(workload, gen)
+            source: SampleSource = SampleSource(
+                dist, gen, max_samples=policy.max_samples
+            )
+            if wrap_source is not None:
+                source = wrap_source(source, gen)
+            if deadline is not None:
+                source = DeadlineSource(source, deadline)
+            verdict = tester(source)
+            return bool(verdict), source.samples_drawn
+
+        try:
+            (verdict, samples), _ = run_with_retry(attempt, policy.retry)
+        except policy.isolate as exc:
+            failures.append(
+                TrialFailure(
+                    trial=index,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=last_attempt[0],
+                    elapsed=time.monotonic() - started,
+                )
+            )
+            continue
+        if verdict:
+            accepted += 1
+        total_samples += samples
+
+    completed = trials - len(failures)
+    if completed == 0 or len(failures) / trials > policy.max_failure_rate:
+        raise TooManyTrialFailures(tuple(failures), trials, policy.max_failure_rate)
+    rate = accepted / completed
+    low, high = wilson_interval(accepted, completed)
+    return RobustAcceptanceEstimate(
+        accepted=accepted,
+        trials=completed,
+        rate=rate,
+        ci_low=low,
+        ci_high=high,
+        mean_samples=total_samples / completed,
+        failures=tuple(failures),
+        attempted=trials,
+    )

@@ -10,8 +10,9 @@ API, including the power-law fit used to summarise a sweep's shape.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Sequence
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -20,6 +21,8 @@ from repro.core.tester import test_histogram
 from repro.distributions import families
 from repro.distributions.discrete import DiscreteDistribution
 from repro.experiments.estimate import ComplexityEstimate, empirical_sample_complexity
+from repro.robustness.checkpoint import CheckpointStore, load_if_matching, resolve_store
+from repro.robustness.resilience import TrialPolicy
 from repro.util.rng import RandomState, ensure_rng, spawn_rngs
 
 
@@ -65,6 +68,24 @@ def _default_workloads(
     return complete, far
 
 
+def _point_to_json(point: SweepPoint) -> dict[str, Any]:
+    return {
+        "n": point.n,
+        "k": point.k,
+        "eps": point.eps,
+        "estimate": asdict(point.estimate),
+    }
+
+
+def _point_from_json(data: dict[str, Any]) -> SweepPoint:
+    return SweepPoint(
+        n=int(data["n"]),
+        k=int(data["k"]),
+        eps=float(data["eps"]),
+        estimate=ComplexityEstimate(**data["estimate"]),
+    )
+
+
 def complexity_sweep(
     axis: str,
     values: Sequence[float],
@@ -77,12 +98,26 @@ def complexity_sweep(
     bisection_steps: int = 5,
     workloads: Callable[[int, int, float], tuple[Callable, Callable]] | None = None,
     rng: RandomState = None,
+    checkpoint: "str | os.PathLike | CheckpointStore | None" = None,
+    resume: bool = True,
+    policy: TrialPolicy | None = None,
 ) -> SweepResult:
     """Sweep one axis (``"n"``, ``"k"`` or ``"eps"``) of the tester's
     empirical sample complexity; other parameters stay fixed.
 
     ``workloads(n, k, eps) -> (complete_factory, far_factory)`` customises
     the instances (defaults: staircase / certified sawtooth).
+
+    ``checkpoint`` names a JSON file the sweep saves atomically after every
+    completed point; with ``resume=True`` (the default) an existing
+    checkpoint whose parameter fingerprint matches is continued point-by-
+    point — per-point RNG streams are spawned identically on every run, so
+    a resumed sweep reproduces the uninterrupted result exactly.  With
+    ``resume=False`` any existing checkpoint is discarded first.
+    Checkpointing requires a reproducible integer seed for ``rng``.
+
+    ``policy`` opts every trial loop into fault isolation (see
+    :class:`~repro.robustness.resilience.TrialPolicy`).
     """
     if axis not in ("n", "k", "eps"):
         raise ValueError(f"axis must be one of n/k/eps, got {axis!r}")
@@ -91,10 +126,38 @@ def complexity_sweep(
     if config is None:
         config = TesterConfig.practical()
     make_workloads = workloads if workloads is not None else _default_workloads
-    streams = spawn_rngs(rng, len(values))
 
-    points: list[SweepPoint] = []
-    for value, stream in zip(values, streams):
+    store = resolve_store(checkpoint)
+    done: list[SweepPoint] = []
+    fingerprint: dict[str, Any] = {}
+    if store is not None:
+        if not isinstance(rng, int):
+            raise ValueError(
+                "checkpointing requires an integer seed for rng — a resumed "
+                "sweep must replay the exact per-point streams"
+            )
+        fingerprint = {
+            "axis": axis,
+            "values": [float(v) for v in values],
+            "n": n,
+            "k": k,
+            "eps": eps,
+            "trials": trials,
+            "bisection_steps": bisection_steps,
+            "config": asdict(config),
+            "seed": rng,
+        }
+        if resume:
+            state = load_if_matching(store, fingerprint)
+            if state is not None:
+                done = [_point_from_json(d) for d in state.get("points", [])]
+        else:
+            store.clear()
+
+    streams = spawn_rngs(rng, len(values))
+    points: list[SweepPoint] = list(done[: len(values)])
+    for index in range(len(points), len(values)):
+        value, stream = values[index], streams[index]
         cur_n, cur_k, cur_eps = n, k, eps
         if axis == "n":
             cur_n = int(value)
@@ -115,8 +178,16 @@ def complexity_sweep(
             trials=trials,
             bisection_steps=bisection_steps,
             rng=stream,
+            policy=policy,
         )
         points.append(SweepPoint(n=cur_n, k=cur_k, eps=cur_eps, estimate=estimate))
+        if store is not None:
+            store.save(
+                {
+                    "fingerprint": fingerprint,
+                    "points": [_point_to_json(p) for p in points],
+                }
+            )
 
     xs = [float(getattr(p, axis)) for p in points]
     ys = [p.estimate.samples for p in points]

@@ -1,0 +1,58 @@
+"""Fault-tolerant experiment execution.
+
+Three pillars, each exercised by experiment E20 and the robust trial runner
+in :mod:`repro.experiments.runner`:
+
+* :mod:`repro.robustness.faults` — corrupted sample streams (Huber
+  contamination, out-of-domain samples, stale reads, scheduled failures);
+* :mod:`repro.robustness.resilience` — bounded deterministic retry,
+  wall-clock deadlines, structured trial-failure isolation;
+* :mod:`repro.robustness.checkpoint` — atomic JSON checkpoint/resume for
+  long-running sweeps.
+"""
+
+from repro.robustness.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    load_if_matching,
+    resolve_store,
+)
+from repro.robustness.faults import (
+    CorruptSampleError,
+    FaultConfig,
+    FaultInjectingSource,
+    InjectedStreamFailure,
+)
+from repro.robustness.resilience import (
+    ISOLATED_ERRORS,
+    TRANSIENT_ERRORS,
+    Deadline,
+    DeadlineSource,
+    RetryPolicy,
+    TooManyTrialFailures,
+    TrialFailure,
+    TrialPolicy,
+    TrialTimeout,
+    run_with_retry,
+)
+
+__all__ = [
+    "ISOLATED_ERRORS",
+    "TRANSIENT_ERRORS",
+    "CheckpointError",
+    "CheckpointStore",
+    "CorruptSampleError",
+    "Deadline",
+    "DeadlineSource",
+    "FaultConfig",
+    "FaultInjectingSource",
+    "InjectedStreamFailure",
+    "RetryPolicy",
+    "TooManyTrialFailures",
+    "TrialFailure",
+    "TrialPolicy",
+    "TrialTimeout",
+    "load_if_matching",
+    "resolve_store",
+    "run_with_retry",
+]

@@ -1,0 +1,113 @@
+"""Atomic JSON checkpointing for long-running sweeps.
+
+A multi-hour sweep must survive interruption (SIGINT, OOM kill, machine
+reboot) without losing completed work.  :class:`CheckpointStore` persists a
+JSON state dict with the classic write-to-temp-then-``os.replace`` dance, so
+the file on disk is always either the previous complete state or the new
+complete state — never a torn write.  Consumers
+(:func:`repro.experiments.sweeps.complexity_sweep`,
+``benchmarks/_common.checkpointed_loop``) store a *fingerprint* of the run
+parameters alongside the payload and discard stale checkpoints whose
+fingerprint no longer matches, so resuming with changed parameters can never
+silently splice incompatible results together.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+class CheckpointError(RuntimeError):
+    """The checkpoint file exists but cannot be parsed.
+
+    Atomic replace means a torn write cannot produce this; a corrupt file
+    indicates external interference, which deserves a loud failure rather
+    than a silent restart-from-scratch.  Delete the file (or call
+    :meth:`CheckpointStore.clear`) to start over deliberately.
+    """
+
+
+class CheckpointStore:
+    """A single JSON checkpoint file with atomic replace semantics."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> dict[str, Any] | None:
+        """The last saved state, or ``None`` when no checkpoint exists."""
+        try:
+            raw = self.path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            state = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint {self.path} is not valid JSON ({exc}); delete it "
+                "to restart from scratch"
+            ) from exc
+        if not isinstance(state, dict):
+            raise CheckpointError(f"checkpoint {self.path} does not hold an object")
+        return state
+
+    def save(self, state: dict[str, Any]) -> None:
+        """Atomically replace the checkpoint with ``state``.
+
+        The temp file lives in the same directory as the target so the
+        ``os.replace`` stays on one filesystem (rename atomicity).
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(state, handle, indent=2)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+
+    def clear(self) -> None:
+        """Remove the checkpoint (no-op when absent)."""
+        self.path.unlink(missing_ok=True)
+
+
+def resolve_store(
+    checkpoint: "str | os.PathLike | CheckpointStore | None",
+) -> CheckpointStore | None:
+    """Normalise a ``checkpoint`` argument (path or store) into a store."""
+    if checkpoint is None:
+        return None
+    if isinstance(checkpoint, CheckpointStore):
+        return checkpoint
+    return CheckpointStore(checkpoint)
+
+
+def load_if_matching(
+    store: CheckpointStore | None, fingerprint: dict[str, Any]
+) -> dict[str, Any] | None:
+    """The stored state when its fingerprint matches, else ``None``.
+
+    A mismatched fingerprint means the checkpoint belongs to a *different*
+    run configuration; it is left on disk untouched (the caller decides
+    whether to overwrite) but its contents are not reused.
+    """
+    if store is None:
+        return None
+    state = store.load()
+    if state is None or state.get("fingerprint") != fingerprint:
+        return None
+    return state

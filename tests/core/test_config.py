@@ -39,6 +39,40 @@ class TestProfiles:
             TesterConfig.practical().chi2_sample_factor = 1.0
 
 
+class TestConstructionValidation:
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError, match="chi2_sample_factor"):
+            TesterConfig.practical(chi2_sample_factor=-1.0)
+
+    def test_zero_factor_rejected(self):
+        with pytest.raises(ValueError, match="partition_b_factor"):
+            TesterConfig.paper(partition_b_factor=0.0)
+
+    def test_fraction_above_one_rejected(self):
+        with pytest.raises(ValueError, match="learner_eps_fraction"):
+            TesterConfig.practical(learner_eps_fraction=1.5)
+
+    def test_fraction_zero_rejected(self):
+        with pytest.raises(ValueError, match="sieve_alpha_fraction"):
+            TesterConfig.practical(sieve_alpha_fraction=0.0)
+
+    def test_negative_budget_scale_rejected(self):
+        with pytest.raises(ValueError, match="budget_scale"):
+            TesterConfig.practical(budget_scale=-2.0)
+
+    def test_bad_chi2_repeats_rejected(self):
+        with pytest.raises(ValueError, match="chi2_repeats"):
+            TesterConfig.practical(chi2_repeats=0)
+
+    def test_boundary_fraction_allowed(self):
+        cfg = TesterConfig.practical(chi2_accept_fraction=1.0)
+        assert cfg.chi2_accept_fraction == 1.0
+
+    def test_profiles_construct_cleanly(self):
+        TesterConfig.paper()
+        TesterConfig.practical()
+
+
 class TestDerived:
     def test_partition_b_formula(self):
         cfg = TesterConfig.paper()

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.distributions.discrete import DiscreteDistribution
-from repro.distributions.sampling import SampleSource, as_source, counts_from_samples
+from repro.distributions.sampling import (
+    SampleBudgetExceeded,
+    SampleSource,
+    as_source,
+    counts_from_samples,
+)
 
 
 class TestCountsFromSamples:
@@ -68,6 +73,71 @@ class TestSampleSource:
         counts = src.draw_counts(20_000)
         # Mass 0.9 moved to position sigma[0] = 2.  4+ sigma margin.
         assert counts[2] / 20_000 == pytest.approx(0.9, abs=0.02)
+
+
+class TestLifetimeAccounting:
+    def test_lifetime_survives_reset(self):
+        src = SampleSource(DiscreteDistribution.uniform(4), rng=0)
+        src.draw(10)
+        src.reset_budget()
+        src.draw(7)
+        # Per-trial and lifetime counters diverge after a reset.
+        assert src.samples_drawn == 7.0
+        assert src.lifetime_drawn == 17.0
+
+    def test_lifetime_counts_every_draw_kind(self):
+        src = SampleSource(DiscreteDistribution.uniform(4), rng=0)
+        src.draw(10)
+        src.draw_counts(5)
+        src.draw_counts_poissonized(2.5)
+        assert src.lifetime_drawn == pytest.approx(17.5)
+        assert src.samples_drawn == src.lifetime_drawn
+
+
+class TestBudgetCap:
+    def test_cap_raises_typed_error(self):
+        src = SampleSource(DiscreteDistribution.uniform(4), rng=0, max_samples=100)
+        src.draw(90)
+        with pytest.raises(SampleBudgetExceeded) as info:
+            src.draw(11)
+        assert info.value.requested == 11
+        assert info.value.drawn == 90.0
+        assert info.value.max_samples == 100.0
+        # The failed draw served (and charged) nothing.
+        assert src.samples_drawn == 90.0
+        src.draw(10)  # exactly the cap is allowed
+
+    def test_cap_applies_to_all_draw_kinds(self):
+        src = SampleSource(DiscreteDistribution.uniform(4), rng=0, max_samples=10)
+        with pytest.raises(SampleBudgetExceeded):
+            src.draw_counts(11)
+        with pytest.raises(SampleBudgetExceeded):
+            src.draw_counts_poissonized(10.5)
+
+    def test_reset_restores_headroom(self):
+        src = SampleSource(DiscreteDistribution.uniform(4), rng=0, max_samples=10)
+        src.draw(10)
+        src.reset_budget()
+        src.draw(10)
+        assert src.lifetime_drawn == 20.0
+
+    def test_uncapped_by_default(self):
+        src = SampleSource(DiscreteDistribution.uniform(4), rng=0)
+        assert src.max_samples is None
+        src.draw(10**6)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSource(DiscreteDistribution.uniform(4), max_samples=0)
+
+    def test_spawn_inherits_cap_with_fresh_headroom(self):
+        src = SampleSource(DiscreteDistribution.uniform(4), rng=0, max_samples=10)
+        src.draw(10)
+        child = src.spawn()
+        assert child.max_samples == 10.0
+        child.draw(10)  # full headroom again
+        with pytest.raises(SampleBudgetExceeded):
+            child.draw(1)
 
 
 class TestAsSource:

@@ -5,9 +5,17 @@ import pytest
 
 from repro.distributions import families
 from repro.experiments.runner import (
+    RobustAcceptanceEstimate,
     acceptance_probability,
     rejection_probability,
+    robust_acceptance_probability,
     success_probability,
+)
+from repro.robustness.faults import FaultConfig, FaultInjectingSource, InjectedStreamFailure
+from repro.robustness.resilience import (
+    RetryPolicy,
+    TooManyTrialFailures,
+    TrialPolicy,
 )
 
 
@@ -66,3 +74,155 @@ class TestAcceptance:
     def test_str(self):
         est = acceptance_probability(families.uniform(10), always_accept, trials=3, rng=0)
         assert "3/3" in str(est)
+
+
+class TestRobustRunner:
+    def test_clean_run_matches_plain_semantics(self):
+        est = robust_acceptance_probability(
+            families.uniform(20), always_accept, trials=10, rng=0
+        )
+        assert isinstance(est, RobustAcceptanceEstimate)
+        assert est.rate == 1.0
+        assert est.trials == est.attempted == 10
+        assert est.failures == ()
+        assert est.failure_rate == 0.0
+
+    def test_failed_trials_are_isolated(self):
+        calls = []
+
+        def flaky(source):
+            calls.append(None)
+            if len(calls) in (2, 5):  # trials 2 and 5 crash (no retries here)
+                raise ValueError("corrupt batch")
+            source.draw(4)
+            return True
+
+        est = robust_acceptance_probability(
+            families.uniform(20),
+            flaky,
+            trials=10,
+            rng=0,
+            policy=TrialPolicy(retry=RetryPolicy(max_attempts=1), max_failure_rate=0.5),
+        )
+        assert est.attempted == 10
+        assert est.trials == 8  # the binomial analysis covers completed trials only
+        assert len(est.failures) == 2
+        assert {f.error_type for f in est.failures} == {"ValueError"}
+        assert est.rate == 1.0
+        assert "failed" in str(est)
+
+    def test_failure_rate_threshold_rejects(self):
+        def always_crashes(source):
+            raise ValueError("broken")
+
+        with pytest.raises(TooManyTrialFailures):
+            robust_acceptance_probability(
+                families.uniform(20),
+                always_crashes,
+                trials=6,
+                rng=0,
+                policy=TrialPolicy(
+                    retry=RetryPolicy(max_attempts=1), max_failure_rate=0.25
+                ),
+            )
+
+    def test_programming_errors_propagate(self):
+        def buggy(source):
+            raise KeyError("not an isolatable failure")
+
+        with pytest.raises(KeyError):
+            robust_acceptance_probability(
+                families.uniform(20), buggy, trials=4, rng=0
+            )
+
+    def test_transient_failures_retried_to_success(self):
+        attempts_per_trial: dict[int, int] = {}
+        trial_counter = [0]
+
+        def tester(source):
+            source.draw(2)
+            return True
+
+        def wrap(source, gen):
+            trial = trial_counter[0]
+            attempts_per_trial[trial] = attempts_per_trial.get(trial, 0) + 1
+            if attempts_per_trial[trial] == 1:
+                raise InjectedStreamFailure(1)  # first attempt of every trial dies
+            trial_counter[0] += 1
+            return source
+
+        est = robust_acceptance_probability(
+            families.uniform(20),
+            tester,
+            trials=5,
+            rng=0,
+            policy=TrialPolicy(retry=RetryPolicy(max_attempts=2)),
+            wrap_source=wrap,
+        )
+        assert est.trials == 5 and not est.failures
+        assert all(count == 2 for count in attempts_per_trial.values())
+
+    def test_scheduled_stream_failures_recorded(self):
+        faults = FaultConfig(fail_at_draws=frozenset({1}))
+
+        def tester(source):
+            source.draw(3)
+            return True
+
+        with pytest.raises(TooManyTrialFailures) as info:
+            robust_acceptance_probability(
+                families.uniform(20),
+                tester,
+                trials=4,
+                rng=0,
+                policy=TrialPolicy(
+                    retry=RetryPolicy(max_attempts=1), max_failure_rate=0.5
+                ),
+                wrap_source=lambda src, gen: FaultInjectingSource(src, faults, gen),
+            )
+        assert all(
+            f.error_type == "InjectedStreamFailure" for f in info.value.failures
+        )
+
+    def test_timeout_isolated(self):
+        def slow(source):
+            import time
+
+            time.sleep(0.05)
+            source.draw(1)  # deadline checked here, after the deadline passed
+            return True
+
+        # Every trial times out, so no estimate can be formed at all.
+        with pytest.raises(TooManyTrialFailures) as info:
+            robust_acceptance_probability(
+                families.uniform(20),
+                slow,
+                trials=2,
+                rng=0,
+                policy=TrialPolicy(
+                    retry=RetryPolicy(max_attempts=1),
+                    trial_timeout=0.01,
+                    max_failure_rate=0.99,
+                ),
+            )
+        assert all(f.error_type == "TrialTimeout" for f in info.value.failures)
+
+    def test_reproducible(self):
+        def coin_tester(source):
+            return source.draw(1)[0] % 2 == 0
+
+        a = robust_acceptance_probability(families.uniform(10), coin_tester, trials=20, rng=7)
+        b = robust_acceptance_probability(families.uniform(10), coin_tester, trials=20, rng=7)
+        assert a.accepted == b.accepted
+
+    def test_success_probability_dispatches_to_robust_path(self):
+        est = success_probability(
+            families.uniform(20),
+            always_reject,
+            False,
+            5,
+            rng=0,
+            policy=TrialPolicy(),
+        )
+        assert isinstance(est, RobustAcceptanceEstimate)
+        assert est.rate == 1.0  # rejection counted as success

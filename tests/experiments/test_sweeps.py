@@ -5,7 +5,8 @@ import math
 import pytest
 
 from repro.core.config import TesterConfig
-from repro.experiments.sweeps import complexity_sweep, fit_power_law
+from repro.experiments.sweeps import _default_workloads, complexity_sweep, fit_power_law
+from repro.robustness.checkpoint import CheckpointStore
 
 
 class TestFitPowerLaw:
@@ -53,3 +54,61 @@ class TestComplexitySweep:
             complexity_sweep("m", [1, 2])
         with pytest.raises(ValueError):
             complexity_sweep("n", [])
+
+
+class TestCheckpointResume:
+    VALUES = [800, 1600, 3200]
+    KWARGS = dict(k=3, eps=0.35, config=TesterConfig.practical(),
+                  trials=3, bisection_steps=2)
+
+    def test_interrupted_sweep_resumes_to_identical_result(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        full = complexity_sweep("n", self.VALUES, rng=3, **self.KWARGS)
+
+        calls = []
+
+        def dying_workloads(n, k, eps):
+            calls.append(n)
+            if len(calls) == 3:
+                raise KeyboardInterrupt  # simulate a kill mid-sweep
+            return _default_workloads(n, k, eps)
+
+        with pytest.raises(KeyboardInterrupt):
+            complexity_sweep(
+                "n", self.VALUES, rng=3, checkpoint=path,
+                workloads=dying_workloads, **self.KWARGS,
+            )
+        # Two completed points survived the crash.
+        saved = CheckpointStore(path).load()
+        assert len(saved["points"]) == 2
+
+        resumed = complexity_sweep(
+            "n", self.VALUES, rng=3, checkpoint=path, **self.KWARGS
+        )
+        assert resumed == full
+
+    def test_mismatched_fingerprint_restarts(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        complexity_sweep("n", self.VALUES[:2], rng=3, checkpoint=path, **self.KWARGS)
+        # Different seed → checkpoint ignored, sweep recomputed from scratch.
+        sweep = complexity_sweep(
+            "n", self.VALUES[:2], rng=4, checkpoint=path, **self.KWARGS
+        )
+        assert sweep == complexity_sweep("n", self.VALUES[:2], rng=4, **self.KWARGS)
+
+    def test_resume_false_discards_checkpoint(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        store = CheckpointStore(path)
+        store.save({"fingerprint": {"bogus": 1}, "points": []})
+        complexity_sweep(
+            "n", self.VALUES[:2], rng=3, checkpoint=path, resume=False, **self.KWARGS
+        )
+        # The bogus checkpoint was cleared and replaced by the real one.
+        assert store.load()["fingerprint"]["seed"] == 3
+
+    def test_checkpoint_requires_int_seed(self, tmp_path):
+        with pytest.raises(ValueError, match="integer seed"):
+            complexity_sweep(
+                "n", self.VALUES[:2], rng=None,
+                checkpoint=tmp_path / "s.json", **self.KWARGS,
+            )

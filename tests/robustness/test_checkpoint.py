@@ -1,0 +1,70 @@
+"""Tests for atomic JSON checkpointing."""
+
+import json
+
+import pytest
+
+from repro.robustness.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    load_if_matching,
+    resolve_store,
+)
+
+
+class TestCheckpointStore:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "state.json")
+        assert store.load() is None
+        assert not store.exists()
+        store.save({"rows": [1, 2, 3], "fingerprint": {"n": 5}})
+        assert store.exists()
+        assert store.load() == {"rows": [1, 2, 3], "fingerprint": {"n": 5}}
+
+    def test_save_replaces_atomically(self, tmp_path):
+        store = CheckpointStore(tmp_path / "state.json")
+        store.save({"rows": [1]})
+        store.save({"rows": [1, 2]})
+        assert store.load() == {"rows": [1, 2]}
+        # No temp droppings left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        store = CheckpointStore(tmp_path / "a" / "b" / "state.json")
+        store.save({"ok": True})
+        assert store.load() == {"ok": True}
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("{ not json")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).load()
+
+    def test_non_object_raises(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps([1, 2]))
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).load()
+
+    def test_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path / "state.json")
+        store.save({"x": 1})
+        store.clear()
+        assert store.load() is None
+        store.clear()  # idempotent
+
+
+class TestHelpers:
+    def test_resolve_store(self, tmp_path):
+        assert resolve_store(None) is None
+        store = CheckpointStore(tmp_path / "s.json")
+        assert resolve_store(store) is store
+        assert resolve_store(tmp_path / "s.json").path == store.path
+
+    def test_load_if_matching(self, tmp_path):
+        store = CheckpointStore(tmp_path / "s.json")
+        assert load_if_matching(store, {"n": 1}) is None
+        store.save({"fingerprint": {"n": 1}, "rows": [7]})
+        assert load_if_matching(store, {"n": 1})["rows"] == [7]
+        assert load_if_matching(store, {"n": 2}) is None
+        assert load_if_matching(None, {"n": 1}) is None

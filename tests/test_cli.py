@@ -21,6 +21,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["test", "nope"])
 
+    def test_sweep_command_parses(self):
+        args = build_parser().parse_args(
+            ["sweep", "n", "--values", "800,1600", "--checkpoint", "ck.json",
+             "--resume"]
+        )
+        assert args.axis == "n"
+        assert args.values == "800,1600"
+        assert args.checkpoint == "ck.json"
+        assert args.resume is True
+
+    def test_sweep_resume_defaults_off(self):
+        args = build_parser().parse_args(["sweep", "eps", "--values", "0.4,0.2"])
+        assert args.resume is False
+        assert args.checkpoint is None
+
 
 class TestCommands:
     def test_test_accepts_histogram(self, capsys):
@@ -52,3 +67,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "selected k : 1" in out
+
+    def test_sweep_writes_checkpoint(self, capsys, tmp_path):
+        path = tmp_path / "ck.json"
+        argv = [
+            "sweep", "n", "--values", "800,1600", "--k", "3", "--eps", "0.35",
+            "--trials", "3", "--bisection-steps", "2", "--seed", "3",
+            "--checkpoint", str(path),
+        ]
+        rc = main(argv)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fitted exponent" in out and "samples/trial" in out
+        assert path.exists()
+        # Resuming a finished sweep recomputes nothing and prints the same table.
+        rc = main(argv + ["--resume"])
+        assert rc == 0
+        assert "fitted exponent" in capsys.readouterr().out
