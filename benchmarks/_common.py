@@ -29,6 +29,30 @@ TRIALS = 12
 CONFIG = TesterConfig.practical()
 
 
+def bench_workers(default: int | None = None) -> int | None:
+    """Worker count for benchmark trial loops, from ``REPRO_WORKERS``.
+
+    Unset/empty → ``default`` (serial); ``0`` → one worker per CPU; ``N`` →
+    N processes.  Results are bit-identical at any value (the engine's
+    determinism contract), so benchmarks may be parallelised freely without
+    changing their tables.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise SystemExit(f"REPRO_WORKERS must be an integer, got {raw!r}") from exc
+    if value < 0:
+        raise SystemExit(f"REPRO_WORKERS must be non-negative, got {value}")
+    return value
+
+
+#: Resolved once so every benchmark honours the same setting.
+WORKERS = bench_workers()
+
+
 def check(label: str, condition: bool) -> None:
     """Soft shape assertion: print PASS/WARN without failing the bench."""
     print(f"  shape[{label}]: {'PASS' if condition else 'WARN'}")

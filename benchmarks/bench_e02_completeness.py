@@ -8,11 +8,12 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from _common import CONFIG, EPS, N, TRIALS, check
+from _common import CONFIG, EPS, N, TRIALS, WORKERS, check
 
-from repro.core.tester import test_histogram
-from repro.experiments import acceptance_probability, make
+from repro.experiments import acceptance_probability
 from repro.experiments.report import print_experiment
+from repro.experiments.sweeps import HistogramTester
+from repro.experiments.workloads import BoundWorkload
 
 
 def run_grid():
@@ -20,10 +21,11 @@ def run_grid():
     for k in (1, 2, 4, 8, 16):
         for family in ("staircase", "random-histogram"):
             est = acceptance_probability(
-                lambda g, family=family, k=k: make(family, N, k, EPS, g),
-                lambda src, k=k: test_histogram(src, k, EPS, config=CONFIG).accept,
+                BoundWorkload(family, N, k, EPS),
+                HistogramTester(k, EPS, CONFIG),
                 trials=TRIALS,
                 rng=k,
+                workers=WORKERS,
             )
             rows.append([k, family, est.rate, est.ci_low, est.mean_samples])
     return rows

@@ -1,0 +1,100 @@
+"""E21 — parallel trial-execution speedup and determinism.
+
+Wall-clock time of :func:`repro.experiments.runner.acceptance_probability`
+on a fixed completeness workload, as a function of worker count.  Two shape
+checks encode the engine's contract:
+
+* every worker count produces a **bit-identical** estimate (determinism —
+  this one is a hard expectation and should PASS everywhere);
+* ≥ 2× speedup at 4 workers (throughput — expect WARN on machines with
+  fewer than ~4 usable cores; the trials are embarrassingly parallel, so
+  on real hardware the scaling is near-linear until the core count).
+
+Usage::
+
+    python benchmarks/bench_e21_parallel_speedup.py [--smoke]
+        [--trials T] [--n N] [--k K] [--workers 1,2,4]
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import CONFIG, EPS, check
+
+from repro.experiments import acceptance_probability
+from repro.experiments.report import print_experiment
+from repro.experiments.sweeps import HistogramTester
+from repro.experiments.workloads import BoundWorkload
+
+SEED = 21
+
+
+def run_grid(trials: int, n: int, k: int, worker_counts: list[int]):
+    workload = BoundWorkload("staircase", n, k, EPS)
+    tester = HistogramTester(k, EPS, CONFIG)
+    rows = []
+    estimates = {}
+    for workers in worker_counts:
+        start = time.perf_counter()
+        est = acceptance_probability(
+            workload, tester, trials=trials, rng=SEED, workers=workers
+        )
+        elapsed = time.perf_counter() - start
+        estimates[workers] = est
+        rows.append([workers, elapsed, trials / elapsed, est.rate, est.mean_samples])
+    base = rows[0][1]
+    rows = [row + [base / row[1]] for row in rows]
+    return rows, estimates
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small fast grid (<60 s)")
+    parser.add_argument("--trials", type=int, default=None, help="trials per run")
+    parser.add_argument("--n", type=int, default=None, help="domain size")
+    parser.add_argument("--k", type=int, default=4, help="histogram pieces")
+    parser.add_argument(
+        "--workers", default="1,2,4", help="comma-separated worker counts"
+    )
+    args = parser.parse_args(argv)
+
+    trials = args.trials if args.trials is not None else (24 if args.smoke else 200)
+    n = args.n if args.n is not None else (512 if args.smoke else 2048)
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+    if not worker_counts:
+        raise SystemExit("--workers must name at least one count")
+
+    rows, estimates = run_grid(trials, n, args.k, worker_counts)
+    print_experiment(
+        f"E21: parallel speedup (n={n}, k={args.k}, eps={EPS}, {trials} trials)",
+        ["workers", "wall s", "trials/s", "accept rate", "samples/trial", "speedup"],
+        rows,
+    )
+
+    reference = estimates[worker_counts[0]]
+    identical = all(est == reference for est in estimates.values())
+    check("all worker counts bit-identical", identical)
+    by_count = {row[0]: row[-1] for row in rows}
+    if 4 in by_count:
+        check("speedup(4 workers) >= 2x", by_count[4] >= 2.0)
+    return 0 if identical else 1
+
+
+def test_e21_parallel_speedup(benchmark):
+    rows, estimates = benchmark.pedantic(
+        lambda: run_grid(24, 512, 4, [1, 2, 4]), rounds=1, iterations=1
+    )
+    print_experiment(
+        "E21 (smoke): parallel speedup",
+        ["workers", "wall s", "trials/s", "accept rate", "samples/trial", "speedup"],
+        rows,
+    )
+    reference = next(iter(estimates.values()))
+    assert all(est == reference for est in estimates.values())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,26 +1,33 @@
 """Command-line interface: ``python -m repro <command> …``.
 
-Four subcommands mirroring the library's main entry points:
+Five subcommands mirroring the library's main entry points:
 
 * ``test``    — run Algorithm 1 on a named workload;
 * ``select``  — model selection (smallest ε-sufficient k) on a workload;
 * ``budget``  — print the sample-budget landscape for given (n, k, ε);
 * ``sweep``   — empirical sample-complexity sweep along one axis, with
-  ``--checkpoint``/``--resume`` for interruption-safe long runs.
+  ``--checkpoint``/``--resume`` for interruption-safe long runs and
+  ``--workers`` for trial-parallel execution;
+* ``bench``   — repeated-trial acceptance benchmark of Algorithm 1 on a
+  named workload, fanned out over ``--workers`` processes (results are
+  bit-identical to serial; ``--compare-serial`` verifies and reports the
+  speedup).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.core.budget import budget_table_row
 from repro.core.config import TesterConfig
 from repro.core.tester import test_histogram
 from repro.experiments.report import format_table
-from repro.experiments.sweeps import complexity_sweep
-from repro.experiments.workloads import REGISTRY, make
+from repro.experiments.runner import acceptance_probability
+from repro.experiments.sweeps import HistogramTester, complexity_sweep
+from repro.experiments.workloads import REGISTRY, BoundWorkload, make
 from repro.learning.model_selection import select_k
 
 
@@ -34,6 +41,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         choices=["practical", "paper"],
         default="practical",
         help="constant profile (paper = literal worst-case constants)",
+    )
+
+
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for trial-parallel loops "
+        "(default serial; 0 = one per CPU; results identical at any count)",
     )
 
 
@@ -84,6 +102,35 @@ def _cmd_budget(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    workload = BoundWorkload(args.workload, args.n, args.k, args.eps)
+    tester = HistogramTester(args.k, args.eps, _config(args))
+
+    def timed(workers: int | None):
+        start = time.perf_counter()
+        estimate = acceptance_probability(
+            workload, tester, trials=args.trials, rng=args.seed, workers=workers
+        )
+        return estimate, time.perf_counter() - start
+
+    estimate, elapsed = timed(args.workers)
+    print(f"workload  : {args.workload} (n={args.n}, k={args.k}, eps={args.eps})")
+    print(f"workers   : {args.workers if args.workers is not None else 1}")
+    print(f"estimate  : {estimate}")
+    print(f"wall time : {elapsed:.2f}s ({args.trials / elapsed:.1f} trials/s)")
+    if args.compare_serial:
+        serial_estimate, serial_elapsed = timed(None)
+        identical = serial_estimate == estimate
+        print(f"serial    : {serial_elapsed:.2f}s "
+              f"(speedup {serial_elapsed / elapsed:.2f}x, "
+              f"results {'identical' if identical else 'DIFFER'})")
+        if not identical:
+            print("error     : parallel result differs from serial — "
+                  "determinism contract violated", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     values = [float(v) for v in args.values.split(",") if v.strip()]
     if not values:
@@ -100,6 +147,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         rng=args.seed,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        workers=args.workers,
     )
     rows = [
         [getattr(p, result.axis), p.estimate.samples, p.estimate.scale,
@@ -140,6 +188,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_budget)
     p_budget.set_defaults(func=_cmd_budget)
 
+    p_bench = sub.add_parser(
+        "bench", help="repeated-trial acceptance benchmark with worker processes"
+    )
+    p_bench.add_argument("workload", choices=sorted(REGISTRY), help="named workload")
+    _add_common(p_bench)
+    p_bench.add_argument("--trials", type=int, default=200, help="independent trials")
+    _add_workers(p_bench)
+    p_bench.add_argument(
+        "--compare-serial",
+        action="store_true",
+        default=False,
+        help="rerun serially, report the speedup, and verify bit-identical results",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
+
     p_sweep = sub.add_parser(
         "sweep", help="empirical sample-complexity sweep along one axis"
     )
@@ -166,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=False,
         help="continue a matching checkpoint instead of discarding it",
     )
+    _add_workers(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     return parser

@@ -83,6 +83,11 @@ class TesterConfig:
     #: completeness the paper's Section 1.3 predicts must fail on
     #: breakpoint-misaligned histograms — kept for experiment E15.
     sieve_enabled: bool = True
+    #: Default worker count for trial-parallel experiment loops driven by
+    #: this config (``None``/1 → serial, 0 → one per CPU, N → N worker
+    #: processes).  Execution-only: results are bit-identical at any value,
+    #: so it never enters budgets, thresholds, or checkpoint fingerprints.
+    workers: int | None = None
 
     #: Multiplicative factors: must be strictly positive (a zero or negative
     #: factor silently produces nonsense budgets downstream).
@@ -118,6 +123,15 @@ class TesterConfig:
                 raise ValueError(f"{name} must be in (0, 1], got {value}")
         if self.chi2_repeats is not None and self.chi2_repeats < 1:
             raise ValueError(f"chi2_repeats must be positive, got {self.chi2_repeats}")
+        if self.workers is not None:
+            if isinstance(self.workers, bool) or not isinstance(self.workers, int):
+                raise ValueError(f"workers must be an int or None, got {self.workers!r}")
+            if self.workers < 0:
+                raise ValueError(f"workers must be non-negative, got {self.workers}")
+
+    def with_workers(self, workers: int | None) -> "TesterConfig":
+        """A copy with a different default worker count (execution-only)."""
+        return replace(self, workers=workers)
 
     # -- profiles -----------------------------------------------------------
 

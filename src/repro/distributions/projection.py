@@ -265,7 +265,10 @@ def unconstrained_l1_distance(
         raise ValueError(f"k must be at least 1, got {k}")
     cost = _median_cost_matrix(p, mask_arr)
     l1, _ = _interval_dp(cost, k)
-    return 0.5 * l1
+    # The running-median cost is computed by subtraction and can come out a
+    # few ulp below zero on exact histograms; a certified lower bound must
+    # never be negative.
+    return max(0.0, 0.5 * l1)
 
 
 def histogram_distance_bounds(

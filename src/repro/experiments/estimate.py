@@ -46,6 +46,7 @@ def _succeeds(
     rng: RandomState,
     policy: TrialPolicy | None = None,
     wrap_source: SourceWrapper | None = None,
+    workers: int | None = None,
 ) -> tuple[bool, float]:
     """Does the tester at this budget clear the bar on both sides?
 
@@ -54,12 +55,14 @@ def _succeeds(
     rng_a, rng_b = spawn_rngs(rng, 2)
     tester = family(scale)
     comp = success_probability(
-        complete, tester, True, trials, rng_a, policy=policy, wrap_source=wrap_source
+        complete, tester, True, trials, rng_a, policy=policy,
+        wrap_source=wrap_source, workers=workers,
     )
     if comp.rate < target_rate:
         return False, comp.mean_samples
     sound = success_probability(
-        far, tester, False, trials, rng_b, policy=policy, wrap_source=wrap_source
+        far, tester, False, trials, rng_b, policy=policy,
+        wrap_source=wrap_source, workers=workers,
     )
     mean = 0.5 * (comp.mean_samples + sound.mean_samples)
     return sound.rate >= target_rate, mean
@@ -78,6 +81,7 @@ def empirical_sample_complexity(
     rng: RandomState = None,
     policy: TrialPolicy | None = None,
     wrap_source: SourceWrapper | None = None,
+    workers: int | None = None,
 ) -> ComplexityEstimate:
     """Bisect the budget scale for the smallest 2/3-successful budget.
 
@@ -86,7 +90,11 @@ def empirical_sample_complexity(
     if it succeeds, it is returned directly as an upper bound).
 
     ``policy`` / ``wrap_source`` opt the trial loops into the fault-tolerant
-    runner path (see :func:`repro.experiments.runner.success_probability`).
+    runner path (see :func:`repro.experiments.runner.success_probability`);
+    ``workers`` fans each evaluation's trials out over worker processes.
+    The bisection itself is inherently sequential (each step depends on the
+    last verdict), so only the per-evaluation trial loops parallelise —
+    results are bit-identical to a serial run at any worker count.
     """
     if not 0.5 < target_rate <= 1.0:
         raise ValueError(f"target rate must be in (0.5, 1], got {target_rate}")
@@ -96,7 +104,8 @@ def empirical_sample_complexity(
     evaluations = 0
 
     ok_lo, samples_lo = _succeeds(
-        family, scale_lo, complete, far, trials, target_rate, gen, policy, wrap_source
+        family, scale_lo, complete, far, trials, target_rate, gen, policy,
+        wrap_source, workers,
     )
     evaluations += 1
     if ok_lo:
@@ -104,14 +113,16 @@ def empirical_sample_complexity(
 
     hi = scale_hi
     ok_hi, samples_hi = _succeeds(
-        family, hi, complete, far, trials, target_rate, gen, policy, wrap_source
+        family, hi, complete, far, trials, target_rate, gen, policy,
+        wrap_source, workers,
     )
     evaluations += 1
     doublings = 0
     while not ok_hi and doublings < 3:
         hi *= 4.0
         ok_hi, samples_hi = _succeeds(
-            family, hi, complete, far, trials, target_rate, gen, policy, wrap_source
+            family, hi, complete, far, trials, target_rate, gen, policy,
+            wrap_source, workers,
         )
         evaluations += 1
         doublings += 1
@@ -125,7 +136,8 @@ def empirical_sample_complexity(
     for _ in range(bisection_steps):
         mid = math.exp(0.5 * (math.log(lo) + math.log(hi)))
         ok, samples = _succeeds(
-            family, mid, complete, far, trials, target_rate, gen, policy, wrap_source
+            family, mid, complete, far, trials, target_rate, gen, policy,
+            wrap_source, workers,
         )
         evaluations += 1
         if ok:

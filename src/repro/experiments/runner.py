@@ -5,6 +5,11 @@ every experiment reduces to estimating an acceptance probability over
 independent trials — with fresh sample streams, and fresh instances when
 the workload itself is randomised.  This module is that loop, with Wilson
 confidence intervals and exact sample accounting.
+
+Trials are independent, so the loop fans out over the
+:mod:`repro.parallel` engine: per-trial ``SeedSequence.spawn`` sub-streams
+are derived up front and outcomes are aggregated in trial order, making
+parallel output bit-identical to serial output at any ``workers`` count.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import numpy as np
 
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.sampling import SampleSource
+from repro.parallel.engine import TrialOutcome, run_trials
 from repro.robustness.resilience import (
     Deadline,
     DeadlineSource,
@@ -25,7 +31,7 @@ from repro.robustness.resilience import (
     TrialPolicy,
     run_with_retry,
 )
-from repro.util.rng import RandomState, child_rng, ensure_rng, spawn_rngs
+from repro.util.rng import RandomState, child_rng, spawn_seed_sequences
 from repro.util.stats import wilson_interval
 
 #: A workload is either a fixed distribution or a per-trial factory.
@@ -65,29 +71,110 @@ def _materialise(workload: Workload, gen: np.random.Generator) -> DiscreteDistri
     return workload(gen)
 
 
+@dataclass(frozen=True)
+class PlainTrial:
+    """One unguarded trial: draw the instance, run the tester, report.
+
+    A module-level class (not a closure) so the process backend can pickle
+    it; exceptions propagate — the plain loop has no isolation semantics.
+    """
+
+    workload: Workload
+    tester: Tester
+
+    def __call__(self, index: int, seed: np.random.SeedSequence) -> TrialOutcome:
+        gen = np.random.default_rng(seed)
+        dist = _materialise(self.workload, gen)
+        source = SampleSource(dist, gen)
+        verdict = bool(self.tester(source))
+        return TrialOutcome(index=index, value=(verdict, source.samples_drawn))
+
+
+@dataclass(frozen=True)
+class RobustTrial:
+    """One fault-isolated trial: retries, deadline, structured failure.
+
+    Runs entirely inside the worker (isolation must survive the process
+    boundary): transient stream errors are retried on a fresh sub-stream of
+    the trial's own seed, the wall-clock deadline and sample cap are
+    enforced per attempt, and an isolatable error is *returned* as a
+    :class:`~repro.robustness.resilience.TrialFailure` rather than raised —
+    a worker never dies from an isolated failure.
+    """
+
+    workload: Workload
+    tester: Tester
+    policy: TrialPolicy
+    wrap_source: SourceWrapper | None
+
+    def __call__(self, index: int, seed: np.random.SeedSequence) -> TrialOutcome:
+        trial_stream = np.random.default_rng(seed)
+        policy = self.policy
+        deadline = (
+            Deadline(policy.trial_timeout) if policy.trial_timeout is not None else None
+        )
+        started = time.monotonic()
+        last_attempt = [0]
+
+        def attempt(attempt_number: int) -> tuple[bool, float]:
+            last_attempt[0] = attempt_number
+            gen = child_rng(trial_stream)
+            dist = _materialise(self.workload, gen)
+            source: SampleSource = SampleSource(
+                dist, gen, max_samples=policy.max_samples
+            )
+            if self.wrap_source is not None:
+                source = self.wrap_source(source, gen)
+            if deadline is not None:
+                source = DeadlineSource(source, deadline)
+            verdict = self.tester(source)
+            return bool(verdict), source.samples_drawn
+
+        try:
+            (verdict, samples), _ = run_with_retry(attempt, policy.retry)
+        except policy.isolate as exc:
+            return TrialOutcome(
+                index=index,
+                failure=TrialFailure(
+                    trial=index,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=last_attempt[0],
+                    elapsed=time.monotonic() - started,
+                ),
+            )
+        return TrialOutcome(index=index, value=(verdict, samples))
+
+
 def acceptance_probability(
     workload: Workload,
     tester: Tester,
     trials: int,
     rng: RandomState = None,
+    *,
+    workers: int | None = None,
 ) -> AcceptanceEstimate:
     """Run ``trials`` independent tests and estimate the acceptance rate.
 
     Each trial gets an independent RNG stream (instance draw and sample
     stream both), so trials are exchangeable and the binomial analysis of
     the confidence interval is exact.
+
+    ``workers`` fans the trials out over worker processes (see
+    :func:`repro.parallel.engine.resolve_workers`); the estimate is
+    bit-identical to the serial one at any worker count.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
-    streams = spawn_rngs(rng, trials)
+    seeds = spawn_seed_sequences(rng, trials)
+    outcomes = run_trials(PlainTrial(workload, tester), seeds, workers=workers)
     accepted = 0
     total_samples = 0.0
-    for gen in streams:
-        dist = _materialise(workload, gen)
-        source = SampleSource(dist, gen)
-        if tester(source):
+    for outcome in outcomes:  # trial order: float sums match serial exactly
+        verdict, samples = outcome.value
+        if verdict:
             accepted += 1
-        total_samples += source.samples_drawn
+        total_samples += samples
     rate = accepted / trials
     low, high = wilson_interval(accepted, trials)
     return AcceptanceEstimate(
@@ -105,9 +192,11 @@ def rejection_probability(
     tester: Tester,
     trials: int,
     rng: RandomState = None,
+    *,
+    workers: int | None = None,
 ) -> AcceptanceEstimate:
     """Like :func:`acceptance_probability` but counting rejections."""
-    estimate = acceptance_probability(workload, tester, trials, rng)
+    estimate = acceptance_probability(workload, tester, trials, rng, workers=workers)
     low, high = wilson_interval(estimate.trials - estimate.accepted, estimate.trials)
     return AcceptanceEstimate(
         accepted=estimate.trials - estimate.accepted,
@@ -128,6 +217,7 @@ def success_probability(
     *,
     policy: TrialPolicy | None = None,
     wrap_source: SourceWrapper | None = None,
+    workers: int | None = None,
 ) -> AcceptanceEstimate:
     """Acceptance or rejection rate, whichever counts as success.
 
@@ -137,10 +227,11 @@ def success_probability(
     """
     if policy is None and wrap_source is None:
         if should_accept:
-            return acceptance_probability(workload, tester, trials, rng)
-        return rejection_probability(workload, tester, trials, rng)
+            return acceptance_probability(workload, tester, trials, rng, workers=workers)
+        return rejection_probability(workload, tester, trials, rng, workers=workers)
     estimate = robust_acceptance_probability(
-        workload, tester, trials, rng, policy=policy, wrap_source=wrap_source
+        workload, tester, trials, rng, policy=policy, wrap_source=wrap_source,
+        workers=workers,
     )
     if should_accept:
         return estimate
@@ -189,6 +280,7 @@ def robust_acceptance_probability(
     *,
     policy: TrialPolicy | None = None,
     wrap_source: SourceWrapper | None = None,
+    workers: int | None = None,
 ) -> RobustAcceptanceEstimate:
     """Like :func:`acceptance_probability`, with trial-level fault isolation.
 
@@ -204,50 +296,29 @@ def robust_acceptance_probability(
 
     ``wrap_source`` decorates each trial's source — the hook fault-injection
     experiments use to corrupt the stream the tester sees.
+
+    With ``workers`` the trials fan out over worker processes; isolation
+    extends across the process boundary — a worker that dies outright is
+    recorded as a ``WorkerCrash`` :class:`TrialFailure` for the trial it was
+    running (never a hung sweep), and every other trial's result is exactly
+    what a serial run would have produced.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
     if policy is None:
         policy = TrialPolicy()
-    streams = spawn_rngs(rng, trials)
+    seeds = spawn_seed_sequences(rng, trials)
+    procedure = RobustTrial(workload, tester, policy, wrap_source)
+    outcomes = run_trials(procedure, seeds, workers=workers, isolate_crashes=True)
+
     accepted = 0
     total_samples = 0.0
     failures: list[TrialFailure] = []
-
-    for index, trial_stream in enumerate(streams):
-        deadline = (
-            Deadline(policy.trial_timeout) if policy.trial_timeout is not None else None
-        )
-        started = time.monotonic()
-        last_attempt = [0]
-
-        def attempt(attempt_number: int, _stream=trial_stream) -> tuple[bool, float]:
-            last_attempt[0] = attempt_number
-            gen = child_rng(_stream)
-            dist = _materialise(workload, gen)
-            source: SampleSource = SampleSource(
-                dist, gen, max_samples=policy.max_samples
-            )
-            if wrap_source is not None:
-                source = wrap_source(source, gen)
-            if deadline is not None:
-                source = DeadlineSource(source, deadline)
-            verdict = tester(source)
-            return bool(verdict), source.samples_drawn
-
-        try:
-            (verdict, samples), _ = run_with_retry(attempt, policy.retry)
-        except policy.isolate as exc:
-            failures.append(
-                TrialFailure(
-                    trial=index,
-                    error_type=type(exc).__name__,
-                    message=str(exc),
-                    attempts=last_attempt[0],
-                    elapsed=time.monotonic() - started,
-                )
-            )
+    for outcome in outcomes:  # trial order: aggregation matches serial exactly
+        if outcome.failure is not None:
+            failures.append(outcome.failure)
             continue
+        verdict, samples = outcome.value
         if verdict:
             accepted += 1
         total_samples += samples

@@ -60,12 +60,66 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> float:
     return slope
 
 
+@dataclass(frozen=True)
+class StaircaseWorkload:
+    """Picklable completeness factory: the (n, k) staircase histogram."""
+
+    n: int
+    k: int
+
+    def __call__(self, gen: np.random.Generator) -> DiscreteDistribution:
+        return families.staircase(self.n, self.k).to_distribution()
+
+
+@dataclass(frozen=True)
+class FarFromHkWorkload:
+    """Picklable soundness factory: a certified ε-far sawtooth instance."""
+
+    n: int
+    k: int
+    eps: float
+
+    def __call__(self, gen: np.random.Generator) -> DiscreteDistribution:
+        return families.far_from_hk(self.n, self.k, self.eps, gen)
+
+
+@dataclass(frozen=True)
+class HistogramTester:
+    """Picklable tester: Algorithm 1 at a fixed budget scale.
+
+    Module-level (not a closure) so the process backend of
+    :mod:`repro.parallel` can ship it to workers.
+    """
+
+    k: int
+    eps: float
+    config: TesterConfig
+
+    def __call__(self, source) -> bool:
+        return test_histogram(source, self.k, self.eps, config=self.config).accept
+
+
+@dataclass(frozen=True)
+class HistogramTesterFamily:
+    """Picklable tester family indexed by budget scale (bisection knob)."""
+
+    k: int
+    eps: float
+    config: TesterConfig
+
+    def __call__(self, scale: float) -> HistogramTester:
+        return HistogramTester(self.k, self.eps, self.config.scaled(scale))
+
+
 def _default_workloads(
     n: int, k: int, eps: float
 ) -> tuple[Callable, Callable]:
-    complete = lambda g: families.staircase(n, k).to_distribution()
-    far = lambda g: families.far_from_hk(n, k, eps, g)
-    return complete, far
+    return StaircaseWorkload(n, k), FarFromHkWorkload(n, k, eps)
+
+
+#: Exactly the keys a serialised :class:`SweepPoint` may carry.
+_POINT_KEYS = frozenset({"n", "k", "eps", "estimate"})
+_ESTIMATE_KEYS = frozenset(ComplexityEstimate.__dataclass_fields__)
 
 
 def _point_to_json(point: SweepPoint) -> dict[str, Any]:
@@ -78,11 +132,35 @@ def _point_to_json(point: SweepPoint) -> dict[str, Any]:
 
 
 def _point_from_json(data: dict[str, Any]) -> SweepPoint:
+    """Rebuild a :class:`SweepPoint`, rejecting malformed checkpoints.
+
+    Unknown keys mean the checkpoint was written by a different (or
+    tampered) schema; splicing it in silently could corrupt a resumed
+    sweep, so fail loudly instead.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"sweep point must be an object, got {type(data).__name__}")
+    extra = set(data) - _POINT_KEYS
+    missing = _POINT_KEYS - set(data)
+    if extra or missing:
+        raise ValueError(
+            f"malformed sweep point: unknown keys {sorted(extra)}, "
+            f"missing keys {sorted(missing)}"
+        )
+    estimate = data["estimate"]
+    if not isinstance(estimate, dict):
+        raise ValueError("sweep point 'estimate' must be an object")
+    if set(estimate) != _ESTIMATE_KEYS:
+        raise ValueError(
+            "malformed complexity estimate: unknown keys "
+            f"{sorted(set(estimate) - _ESTIMATE_KEYS)}, missing keys "
+            f"{sorted(_ESTIMATE_KEYS - set(estimate))}"
+        )
     return SweepPoint(
         n=int(data["n"]),
         k=int(data["k"]),
         eps=float(data["eps"]),
-        estimate=ComplexityEstimate(**data["estimate"]),
+        estimate=ComplexityEstimate(**estimate),
     )
 
 
@@ -101,6 +179,7 @@ def complexity_sweep(
     checkpoint: "str | os.PathLike | CheckpointStore | None" = None,
     resume: bool = True,
     policy: TrialPolicy | None = None,
+    workers: int | None = None,
 ) -> SweepResult:
     """Sweep one axis (``"n"``, ``"k"`` or ``"eps"``) of the tester's
     empirical sample complexity; other parameters stay fixed.
@@ -118,6 +197,13 @@ def complexity_sweep(
 
     ``policy`` opts every trial loop into fault isolation (see
     :class:`~repro.robustness.resilience.TrialPolicy`).
+
+    ``workers`` (default: ``config.workers``) fans each evaluation's trial
+    loop out over worker processes.  Results and checkpoints are
+    **worker-count independent** — per-point and per-trial seed streams are
+    derived before any work is scheduled — so the fingerprint deliberately
+    excludes the worker count and a checkpoint written at one worker count
+    resumes correctly at any other.
     """
     if axis not in ("n", "k", "eps"):
         raise ValueError(f"axis must be one of n/k/eps, got {axis!r}")
@@ -125,6 +211,8 @@ def complexity_sweep(
         raise ValueError("need at least one axis value")
     if config is None:
         config = TesterConfig.practical()
+    if workers is None:
+        workers = config.workers
     make_workloads = workloads if workloads is not None else _default_workloads
 
     store = resolve_store(checkpoint)
@@ -136,6 +224,11 @@ def complexity_sweep(
                 "checkpointing requires an integer seed for rng — a resumed "
                 "sweep must replay the exact per-point streams"
             )
+        # The worker count never enters the fingerprint: results are
+        # bit-identical at any count, so a checkpoint must resume across
+        # machines with different parallelism.
+        config_print = asdict(config)
+        config_print.pop("workers", None)
         fingerprint = {
             "axis": axis,
             "values": [float(v) for v in values],
@@ -144,7 +237,7 @@ def complexity_sweep(
             "eps": eps,
             "trials": trials,
             "bisection_steps": bisection_steps,
-            "config": asdict(config),
+            "config": config_print,
             "seed": rng,
         }
         if resume:
@@ -166,11 +259,7 @@ def complexity_sweep(
         else:
             cur_eps = float(value)
         complete, far = make_workloads(cur_n, cur_k, cur_eps)
-        family = lambda scale, cur_k=cur_k, cur_eps=cur_eps: (
-            lambda src: test_histogram(
-                src, cur_k, cur_eps, config=config.scaled(scale)
-            ).accept
-        )
+        family = HistogramTesterFamily(cur_k, cur_eps, config)
         estimate = empirical_sample_complexity(
             family,
             complete=complete,
@@ -179,6 +268,7 @@ def complexity_sweep(
             bisection_steps=bisection_steps,
             rng=stream,
             policy=policy,
+            workers=workers,
         )
         points.append(SweepPoint(n=cur_n, k=cur_k, eps=cur_eps, estimate=estimate))
         if store is not None:

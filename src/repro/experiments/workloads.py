@@ -152,6 +152,25 @@ def make(name: str, n: int, k: int, eps: float, rng: RandomState = None) -> Disc
     return get_workload(name).factory(n, k, eps, ensure_rng(rng))
 
 
+@dataclass(frozen=True)
+class BoundWorkload:
+    """A named workload bound to a scale: a picklable per-trial factory.
+
+    The trial runner accepts any ``factory(gen) -> DiscreteDistribution``;
+    lambdas closing over (n, k, ε) cannot cross a process boundary, so the
+    parallel paths (``repro bench``, E-benchmarks) bind the scale in this
+    module-level class instead.
+    """
+
+    name: str
+    n: int
+    k: int
+    eps: float
+
+    def __call__(self, gen: np.random.Generator) -> DiscreteDistribution:
+        return get_workload(self.name).factory(self.n, self.k, self.eps, gen)
+
+
 def completeness_workloads() -> list[Workload]:
     """All workloads whose instances are exact k-histograms."""
     return [w for w in REGISTRY.values() if w.nature == "complete"]

@@ -1,0 +1,30 @@
+"""Parallel trial execution with deterministic seed streams.
+
+The experiment suite reduces everything to bulk repeated independent
+trials (acceptance rates, robust estimates, bisection evaluations) — an
+embarrassingly parallel shape.  :mod:`repro.parallel.engine` fans those
+trials out over a :class:`concurrent.futures.ProcessPoolExecutor` while
+preserving the library's determinism contract: per-trial RNG sub-streams
+are derived with ``SeedSequence.spawn`` *before* any work is scheduled, and
+results are re-assembled in trial order, so output is bit-identical to a
+serial run at any worker count.  See DESIGN.md § "Parallel trial execution"
+for the seeding scheme and the determinism contract.
+"""
+
+from repro.parallel.engine import (
+    ParallelExecutionError,
+    TrialOutcome,
+    crash_failure,
+    default_worker_count,
+    resolve_workers,
+    run_trials,
+)
+
+__all__ = [
+    "ParallelExecutionError",
+    "TrialOutcome",
+    "crash_failure",
+    "default_worker_count",
+    "resolve_workers",
+    "run_trials",
+]

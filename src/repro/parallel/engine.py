@@ -1,0 +1,189 @@
+"""The trial-execution engine: serial or process-pool backends.
+
+Contract
+--------
+
+A *trial procedure* is a picklable callable ``procedure(index, seed) ->
+TrialOutcome`` that must be a pure function of its arguments (all
+randomness flows through ``seed``, a :class:`numpy.random.SeedSequence`).
+:func:`run_trials` maps a procedure over a pre-spawned seed list and
+returns outcomes **in trial order**, regardless of completion order, so
+any aggregation the caller performs (counts, float sums) is bit-identical
+between backends and across worker counts.
+
+Fault model
+-----------
+
+Python-level exceptions inside a trial are the *procedure's* business —
+the robust runner catches its isolatable errors itself and returns them
+inside the :class:`TrialOutcome`.  The engine handles the one failure a
+procedure cannot: the worker process dying outright (segfault, OOM kill,
+``os._exit``).  A dead worker breaks the whole pool, taking every pending
+future with it, so the engine re-runs each affected trial alone in a
+fresh single-worker pool: innocent trials recover their exact results
+(procedures are deterministic in ``seed``), and the genuinely crashing
+trial is either surfaced as a :class:`TrialOutcome` carrying a
+``WorkerCrash`` :class:`~repro.robustness.resilience.TrialFailure`
+(``isolate_crashes=True``, the robust path) or raised as
+:class:`ParallelExecutionError` (the plain path).  A dead worker is a
+recorded failure, never a hung sweep.
+
+Procedures that cannot be pickled (closures over local state — common in
+tests) degrade to the serial backend with a warning rather than failing:
+worker counts are a performance hint, not a semantics switch.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.robustness.resilience import TrialFailure
+
+#: ``procedure(index, seed) -> TrialOutcome`` — must be picklable for the
+#: process backend and deterministic given ``seed``.
+TrialProcedure = Callable[[int, np.random.SeedSequence], "TrialOutcome"]
+
+
+class ParallelExecutionError(RuntimeError):
+    """A worker process died and the caller did not opt into isolation."""
+
+    def __init__(self, trial: int, detail: str) -> None:
+        super().__init__(
+            f"worker process died while executing trial {trial}: {detail or 'no detail'}"
+            " — run serially to debug, or use the fault-isolating runner"
+        )
+        self.trial = trial
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Result of one trial: a payload on success, a failure record otherwise."""
+
+    index: int
+    value: Any = None
+    failure: TrialFailure | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def crash_failure(trial: int, detail: str = "") -> TrialFailure:
+    """The structured record for a trial whose worker process died."""
+    return TrialFailure(
+        trial=trial,
+        error_type="WorkerCrash",
+        message=detail or "worker process terminated abruptly",
+        attempts=1,
+        elapsed=0.0,
+    )
+
+
+def default_worker_count() -> int:
+    """Worker count used for ``workers=0`` ("auto"): one per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` knob into an effective worker count.
+
+    ``None`` and ``1`` select the serial backend; ``0`` means "auto" (one
+    worker per CPU); any other positive integer is taken literally.
+    """
+    if workers is None:
+        return 1
+    if not isinstance(workers, (int, np.integer)) or isinstance(workers, bool):
+        raise TypeError(f"workers must be an int or None, got {workers!r}")
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    if workers == 0:
+        return default_worker_count()
+    return int(workers)
+
+
+def _run_serial(
+    procedure: TrialProcedure, seeds: Sequence[np.random.SeedSequence]
+) -> list[TrialOutcome]:
+    return [procedure(index, seed) for index, seed in enumerate(seeds)]
+
+
+def _rerun_isolated(
+    procedure: TrialProcedure,
+    index: int,
+    seed: np.random.SeedSequence,
+    isolate_crashes: bool,
+) -> TrialOutcome:
+    """Re-run one suspect trial alone in a fresh single-worker pool.
+
+    After a pool break every pending trial looks guilty; giving each its
+    own process acquits the innocent (deterministic procedures reproduce
+    their exact result) and convicts the crasher without collateral.
+    """
+    with ProcessPoolExecutor(max_workers=1) as solo:
+        future = solo.submit(procedure, index, seed)
+        try:
+            return future.result()
+        except BrokenProcessPool as exc:
+            if not isolate_crashes:
+                raise ParallelExecutionError(index, str(exc)) from exc
+            return TrialOutcome(index=index, failure=crash_failure(index, str(exc)))
+
+
+def run_trials(
+    procedure: TrialProcedure,
+    seeds: Sequence[np.random.SeedSequence],
+    *,
+    workers: int | None = None,
+    isolate_crashes: bool = False,
+) -> list[TrialOutcome]:
+    """Execute ``procedure`` over ``seeds``, returning outcomes in trial order.
+
+    ``workers`` selects the backend (see :func:`resolve_workers`).  With
+    ``isolate_crashes=True`` a dead worker yields a ``WorkerCrash``
+    :class:`TrialOutcome` for the trial it was running; otherwise it raises
+    :class:`ParallelExecutionError`.  Either way the surviving trials'
+    results are identical to a serial run.
+    """
+    count = resolve_workers(workers)
+    seeds = list(seeds)
+    if count <= 1 or len(seeds) <= 1:
+        return _run_serial(procedure, seeds)
+    try:
+        pickle.dumps(procedure)
+    except Exception as exc:  # pickle raises a zoo of types
+        warnings.warn(
+            f"trial procedure is not picklable ({exc!r}); falling back to the "
+            "serial backend — results are unchanged, only slower",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_serial(procedure, seeds)
+
+    results: list[TrialOutcome | None] = [None] * len(seeds)
+    suspects: list[int] = []
+    with ProcessPoolExecutor(max_workers=min(count, len(seeds))) as pool:
+        futures = {}
+        try:
+            for index, seed in enumerate(seeds):
+                futures[pool.submit(procedure, index, seed)] = index
+        except BrokenProcessPool:
+            suspects.extend(range(len(futures), len(seeds)))
+        futures_wait(list(futures))
+        for future, index in futures.items():
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                suspects.append(index)
+    for index in sorted(suspects):
+        results[index] = _rerun_isolated(procedure, index, seeds[index], isolate_crashes)
+    assert all(outcome is not None for outcome in results)
+    return results  # type: ignore[return-value]

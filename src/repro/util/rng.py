@@ -56,3 +56,36 @@ def seeds_for_trials(rng: RandomState, trials: int) -> Sequence[int]:
     """Return ``trials`` reproducible integer seeds (for per-trial reporting)."""
     parent = ensure_rng(rng)
     return [int(s) for s in parent.integers(0, 2**63 - 1, size=trials, dtype=np.int64)]
+
+
+def seed_sequence_root(rng: RandomState) -> np.random.SeedSequence:
+    """Normalise ``rng`` into a :class:`numpy.random.SeedSequence` root.
+
+    An existing ``SeedSequence`` passes through; an integer seeds one
+    directly; ``None`` draws fresh OS entropy; a ``Generator`` contributes
+    entropy *from its own stream* (advancing it), so repeated calls on the
+    same generator yield independent roots — mirroring :func:`spawn_rngs`.
+    """
+    if isinstance(rng, np.random.SeedSequence):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.SeedSequence(int(rng))
+    gen = ensure_rng(rng)
+    entropy = [int(x) for x in gen.integers(0, 2**63 - 1, size=4, dtype=np.int64)]
+    return np.random.SeedSequence(entropy)
+
+
+def spawn_seed_sequences(rng: RandomState, count: int) -> list[np.random.SeedSequence]:
+    """Derive ``count`` per-trial :class:`~numpy.random.SeedSequence`
+    sub-streams via ``SeedSequence.spawn``.
+
+    This is the parallel-safe counterpart of :func:`spawn_rngs`: the
+    sub-streams are cheap to pickle across process boundaries, and —
+    crucially — their derivation depends only on ``rng`` and ``count``,
+    never on *where* each trial will execute.  A trial's generator is
+    ``np.random.default_rng(seq)``; serial and parallel executions of the
+    same trial list are therefore bit-identical at any worker count.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return list(seed_sequence_root(rng).spawn(count))

@@ -1,0 +1,84 @@
+"""Statistical calibration of the tester's error rates (nightly, ``slow``).
+
+The paper's guarantee is two-sided with failure probability at most 1/3:
+instances in ``H_k`` are accepted and certified ε-far instances rejected,
+each with probability ≥ 2/3.  These tests measure the empirical false-
+positive and false-negative rates over many independent fixed-seed trials
+on canonical yes/no instances and check them against exact binomial
+confidence bounds: if the per-trial error probability really were above
+1/3, observing at most ``binom.ppf(FLAKE_P, TRIALS, 1/3)`` errors would
+have probability below ``FLAKE_P``.  In practice the tester is far better
+calibrated than the worst-case bound, so the margins are wide.
+
+Seeds are pinned, so every run draws the same trials — the suite is a
+regression net for calibration drift (threshold or budget changes that
+silently degrade error rates), not a source of CI flakes.  Marked ``slow``
+and skipped by default; the nightly CI job runs it with ``--run-slow``.
+"""
+
+import pytest
+from scipy import stats
+
+from repro.core.config import TesterConfig
+from repro.experiments.runner import acceptance_probability
+from repro.experiments.sweeps import HistogramTester
+from repro.experiments.workloads import BoundWorkload
+
+pytestmark = pytest.mark.slow
+
+TRIALS = 120
+N, K, EPS = 2500, 4, 0.3
+#: Target flake probability per assertion if the tester only just met the
+#: paper's 1/3 error bound (the true rates observed are far lower).
+FLAKE_P = 1e-6
+
+#: Most errors we may observe among TRIALS at per-trial error rate 1/3
+#: before the excess itself is FLAKE_P-significant.
+MAX_ERRORS = int(stats.binom.ppf(1 - FLAKE_P, TRIALS, 1.0 / 3.0))
+
+
+def error_count(workload_name: str, config: TesterConfig, seed: int, *, far: bool) -> int:
+    estimate = acceptance_probability(
+        BoundWorkload(workload_name, N, K, EPS),
+        HistogramTester(K, EPS, config),
+        trials=TRIALS,
+        rng=seed,
+        workers=0,  # auto: exercises the parallel path on multi-core runners
+    )
+    accepted = round(estimate.rate * estimate.trials)
+    return accepted if far else estimate.trials - accepted
+
+
+class TestPracticalProfile:
+    CONFIG = TesterConfig.practical()
+
+    @pytest.mark.parametrize("name", ["staircase", "uniform", "random-histogram"])
+    def test_false_negative_rate(self, name):
+        errors = error_count(name, self.CONFIG, seed=100, far=False)
+        assert errors <= MAX_ERRORS, (
+            f"{name}: {errors}/{TRIALS} completeness errors exceeds the "
+            f"binomial bound {MAX_ERRORS} for per-trial rate 1/3"
+        )
+
+    @pytest.mark.parametrize("name", ["sawtooth-uniform", "sawtooth-staircase"])
+    def test_false_positive_rate(self, name):
+        errors = error_count(name, self.CONFIG, seed=200, far=True)
+        assert errors <= MAX_ERRORS, (
+            f"{name}: {errors}/{TRIALS} soundness errors exceeds the "
+            f"binomial bound {MAX_ERRORS} for per-trial rate 1/3"
+        )
+
+
+class TestPaperProfile:
+    """The paper-faithful constants are far more conservative; spot-check
+    one instance per side at the same binomial bar."""
+
+    CONFIG = TesterConfig.paper()
+
+    def test_false_negative_rate(self):
+        errors = error_count("staircase", self.CONFIG, seed=300, far=False)
+        assert errors <= MAX_ERRORS
+
+    def test_false_positive_rate(self):
+        errors = error_count("sawtooth-uniform", self.CONFIG, seed=400, far=True)
+        assert errors <= MAX_ERRORS

@@ -1,11 +1,20 @@
 """Tests for the complexity sweep driver."""
 
+import json
 import math
 
 import pytest
 
 from repro.core.config import TesterConfig
-from repro.experiments.sweeps import _default_workloads, complexity_sweep, fit_power_law
+from repro.experiments.estimate import ComplexityEstimate
+from repro.experiments.sweeps import (
+    SweepPoint,
+    _default_workloads,
+    _point_from_json,
+    _point_to_json,
+    complexity_sweep,
+    fit_power_law,
+)
 from repro.robustness.checkpoint import CheckpointStore
 
 
@@ -54,6 +63,53 @@ class TestComplexitySweep:
             complexity_sweep("m", [1, 2])
         with pytest.raises(ValueError):
             complexity_sweep("n", [])
+
+
+class TestPointJsonRoundTrip:
+    POINT = SweepPoint(
+        n=1200,
+        k=5,
+        eps=0.25,
+        estimate=ComplexityEstimate(
+            samples=431.5, scale=0.75, scale_low=0.5, evaluations=6, target_rate=0.9
+        ),
+    )
+
+    def test_round_trip_is_identity(self):
+        assert _point_from_json(_point_to_json(self.POINT)) == self.POINT
+
+    def test_round_trip_survives_json_text(self):
+        # Through an actual JSON encode/decode, as the checkpoint store does.
+        data = json.loads(json.dumps(_point_to_json(self.POINT)))
+        assert _point_from_json(data) == self.POINT
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            _point_from_json([1, 2, 3])
+
+    def test_rejects_unknown_point_key(self):
+        data = _point_to_json(self.POINT)
+        data["workers"] = 4
+        with pytest.raises(ValueError, match="unknown keys.*workers"):
+            _point_from_json(data)
+
+    def test_rejects_missing_point_key(self):
+        data = _point_to_json(self.POINT)
+        del data["eps"]
+        with pytest.raises(ValueError, match="missing keys.*eps"):
+            _point_from_json(data)
+
+    def test_rejects_malformed_estimate(self):
+        data = _point_to_json(self.POINT)
+        data["estimate"] = 17.0
+        with pytest.raises(ValueError, match="'estimate' must be an object"):
+            _point_from_json(data)
+        data["estimate"] = dict(_point_to_json(self.POINT)["estimate"], bogus=1)
+        with pytest.raises(ValueError, match="unknown keys.*bogus"):
+            _point_from_json(data)
+        data["estimate"] = {"samples": 1.0}
+        with pytest.raises(ValueError, match="missing keys"):
+            _point_from_json(data)
 
 
 class TestCheckpointResume:

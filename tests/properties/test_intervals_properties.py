@@ -1,0 +1,130 @@
+"""Property-based tests for the interval algebra (``repro.util.intervals``).
+
+Hypothesis generates arbitrary partitions of small domains and checks the
+algebraic laws the rest of the pipeline leans on: flattening preserves
+per-piece mass and is an idempotent projection, point location agrees with
+the vectorised membership map, refinement is a join, and ``cover``/``runs``
+describe the same decomposition.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intervals import Interval, Partition, cover, runs
+
+MAX_N = 64
+
+
+@st.composite
+def partitions(draw, max_n=MAX_N):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    inner = draw(st.sets(st.integers(min_value=1, max_value=max(1, n - 1)), max_size=n - 1))
+    return Partition(sorted({0, n} | inner))
+
+
+@st.composite
+def partitions_with_values(draw):
+    partition = draw(partitions())
+    values = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False),
+            min_size=partition.n,
+            max_size=partition.n,
+        )
+    )
+    return partition, np.asarray(values, dtype=np.float64)
+
+
+class TestFlatten:
+    @given(partitions_with_values())
+    def test_preserves_per_piece_mass(self, case):
+        partition, values = case
+        flat = partition.flatten(values)
+        np.testing.assert_allclose(
+            partition.aggregate(flat), partition.aggregate(values), atol=1e-9
+        )
+
+    @given(partitions_with_values())
+    def test_idempotent(self, case):
+        partition, values = case
+        once = partition.flatten(values)
+        np.testing.assert_allclose(partition.flatten(once), once, atol=1e-12)
+
+    @given(partitions_with_values())
+    def test_constant_on_each_piece(self, case):
+        partition, values = case
+        flat = partition.flatten(values)
+        for interval in partition:
+            piece = flat[interval.slice()]
+            assert np.all(piece == piece[0])
+
+    @given(partitions())
+    def test_aggregate_of_ones_is_lengths(self, partition):
+        np.testing.assert_array_equal(
+            partition.aggregate(np.ones(partition.n)), partition.lengths()
+        )
+
+
+class TestStructure:
+    @given(partitions())
+    def test_intervals_tile_the_domain(self, partition):
+        assert sum(len(iv) for iv in partition) == partition.n
+        assert int(partition.lengths().sum()) == partition.n
+
+    @given(partitions())
+    def test_membership_agrees_with_locate(self, partition):
+        labels = partition.membership()
+        for i in range(partition.n):
+            assert labels[i] == partition.locate(i)
+            assert i in partition[labels[i]]
+
+    @given(partitions())
+    def test_from_intervals_round_trip(self, partition):
+        assert Partition.from_intervals(list(partition)) == partition
+
+    @given(partitions(), st.data())
+    def test_refine_is_a_join(self, partition, data):
+        inner = data.draw(
+            st.sets(st.integers(min_value=1, max_value=max(1, partition.n - 1)))
+        )
+        other = Partition(sorted({0, partition.n} | inner))
+        merged = partition.refine(other)
+        assert merged.is_refinement_of(partition)
+        assert merged.is_refinement_of(other)
+        assert partition.refine(partition) == partition
+        assert partition.is_refinement_of(Partition.trivial(partition.n))
+        assert Partition.singletons(partition.n).is_refinement_of(partition)
+
+    @given(partitions_with_values(), st.data())
+    def test_refinement_flattening_composes(self, case, data):
+        coarse, values = case
+        extra = data.draw(
+            st.sets(st.integers(min_value=1, max_value=max(1, coarse.n - 1)))
+        )
+        fine = Partition(sorted(set(coarse.boundaries.tolist()) | extra | {0, coarse.n}))
+        assert fine.is_refinement_of(coarse)
+        np.testing.assert_allclose(
+            coarse.flatten(fine.flatten(values)), coarse.flatten(values), atol=1e-9
+        )
+
+
+class TestCoverRuns:
+    @given(st.sets(st.integers(min_value=0, max_value=200)))
+    def test_cover_counts_runs(self, indices):
+        assert cover(indices) == len(runs(indices))
+
+    @given(st.sets(st.integers(min_value=0, max_value=200)))
+    def test_runs_tile_exactly_the_set(self, indices):
+        segments = runs(indices)
+        recovered = sorted(i for iv in segments for i in iv)
+        assert recovered == sorted(indices)
+        # maximality: consecutive runs never touch
+        for a, b in zip(segments, segments[1:]):
+            assert a.stop < b.start
+
+    @given(st.integers(min_value=0, max_value=50), st.integers(min_value=1, max_value=20))
+    def test_single_block_has_cover_one(self, start, length):
+        block = range(start, start + length)
+        assert cover(block) == 1
+        assert runs(block) == [Interval(start, start + length)]

@@ -1,0 +1,152 @@
+"""Property-based tests for histogram structure and ``H_k`` projections.
+
+Random pmfs over small domains (the point-granularity DPs are O(n²), so n
+stays ≤ 40) exercise the analytic guarantees the testers rely on: the
+unconstrained ℓ1 relaxation lower-bounds the flattening projection, the
+flattening over-shoots it by at most a factor of two, both shrink as ``k``
+grows, and genuine k-histograms project to distance zero.  Histogram
+round-trips pin the succinct representation against the explicit pmf.
+"""
+
+import numpy as np
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.distributions.histogram import (
+    Histogram,
+    is_k_histogram,
+    num_pieces,
+)
+from repro.distributions.projection import (
+    flattening_distance,
+    flattening_profile,
+    histogram_distance_bounds,
+    project_flattening,
+    unconstrained_l1_distance,
+)
+from repro.util.intervals import Partition
+
+MAX_N = 40
+ATOL = 1e-9
+
+
+@st.composite
+def pmfs(draw, max_n=MAX_N):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    weights = np.asarray(
+        draw(
+            st.lists(
+                st.floats(0.0, 100.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.float64,
+    )
+    assume(weights.sum() > 0)
+    return weights / weights.sum()
+
+
+@st.composite
+def histograms(draw, max_n=MAX_N):
+    """A genuine k-histogram pmf together with its piece count."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    inner = draw(st.sets(st.integers(min_value=1, max_value=max(1, n - 1)), max_size=6))
+    partition = Partition(sorted({0, n} | inner))
+    masses = np.asarray(
+        draw(
+            st.lists(
+                st.floats(0.01, 100.0, allow_nan=False),
+                min_size=len(partition),
+                max_size=len(partition),
+            )
+        ),
+        dtype=np.float64,
+    )
+    pmf = Histogram.from_masses(partition, masses / masses.sum()).to_pmf()
+    return pmf, len(partition)
+
+
+@st.composite
+def pmf_and_k(draw):
+    pmf = draw(pmfs())
+    k = draw(st.integers(min_value=1, max_value=len(pmf)))
+    return pmf, k
+
+
+class TestProjectionBounds:
+    @given(pmf_and_k())
+    def test_lower_bound_at_most_upper_bound(self, case):
+        pmf, k = case
+        lower, upper = histogram_distance_bounds(pmf, k)
+        assert 0.0 <= lower <= upper + ATOL
+
+    @given(pmf_and_k())
+    def test_flattening_within_factor_two_of_relaxation(self, case):
+        # The interval mean 2-approximates the ℓ1-optimal constant, so the
+        # best flattening costs at most twice the unconstrained optimum.
+        pmf, k = case
+        assert flattening_distance(pmf, k) <= 2 * unconstrained_l1_distance(pmf, k) + ATOL
+
+    @given(pmfs())
+    def test_distance_non_increasing_in_k(self, pmf):
+        profile = flattening_profile(pmf, len(pmf))
+        assert np.all(np.diff(profile) <= ATOL)
+        assert profile[-1] <= ATOL  # n pieces always fit exactly
+
+    @given(pmf_and_k())
+    def test_profile_matches_pointwise_distance(self, case):
+        pmf, k = case
+        profile = flattening_profile(pmf, k)
+        assert abs(profile[k - 1] - flattening_distance(pmf, k)) <= ATOL
+
+    @given(histograms())
+    def test_true_histograms_project_to_zero(self, case):
+        pmf, k = case
+        assert is_k_histogram(pmf, k)
+        assert flattening_distance(pmf, k) <= ATOL
+        assert unconstrained_l1_distance(pmf, k) <= ATOL
+
+    @given(pmf_and_k())
+    def test_projection_result_is_consistent(self, case):
+        pmf, k = case
+        projection = project_flattening(pmf, k)
+        assert projection.histogram.num_pieces <= k
+        # The reported distance is exactly the TV distance to the projection.
+        realised = 0.5 * np.abs(pmf - projection.histogram.to_pmf()).sum()
+        assert abs(projection.distance - realised) <= ATOL
+
+
+class TestHistogramRepresentation:
+    @given(pmfs())
+    def test_from_pmf_round_trip(self, pmf):
+        # from_pmf merges jumps below the breakpoint tolerance (1e-12), so
+        # the round-trip is exact up to that quantisation, not bitwise.
+        hist = Histogram.from_pmf(pmf)
+        np.testing.assert_allclose(hist.to_pmf(), pmf, atol=1e-10)
+        assert hist.num_pieces == num_pieces(pmf)
+
+    @given(histograms())
+    def test_minimal_is_idempotent(self, case):
+        pmf, _ = case
+        minimal = Histogram.from_pmf(pmf).minimal()
+        again = minimal.minimal()
+        assert again.partition == minimal.partition
+        np.testing.assert_array_equal(again.values, minimal.values)
+
+    @given(histograms())
+    def test_piece_masses_sum_to_one(self, case):
+        pmf, _ = case
+        hist = Histogram.from_pmf(pmf)
+        assert abs(hist.piece_masses().sum() - 1.0) <= ATOL
+        assert is_k_histogram(pmf, hist.num_pieces)
+
+    @given(pmfs(), st.data())
+    def test_flattening_matches_partition_flatten(self, pmf, data):
+        from repro.distributions.discrete import DiscreteDistribution
+
+        n = len(pmf)
+        inner = data.draw(st.sets(st.integers(min_value=1, max_value=max(1, n - 1))))
+        partition = Partition(sorted({0, n} | inner))
+        hist = Histogram.flattening(DiscreteDistribution(pmf), partition)
+        np.testing.assert_allclose(hist.to_pmf(), partition.flatten(pmf), atol=1e-12)
