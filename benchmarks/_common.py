@@ -15,7 +15,11 @@ resumes from the last completed point instead of starting over.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.core.config import TesterConfig
@@ -56,6 +60,50 @@ WORKERS = bench_workers()
 def check(label: str, condition: bool) -> None:
     """Soft shape assertion: print PASS/WARN without failing the bench."""
     print(f"  shape[{label}]: {'PASS' if condition else 'WARN'}")
+
+
+def write_bench_json(
+    name: str,
+    *,
+    params: dict[str, Any],
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    metrics: dict[str, Any] | None = None,
+    path: "str | os.PathLike | None" = None,
+) -> Path:
+    """Persist a benchmark's table as machine-readable ``BENCH_<name>.json``.
+
+    The schema is deliberately small and stable — perf-regression tooling
+    (``benchmarks/check_perf_regression.py``) diffs these files across
+    commits, so keys here are a compatibility surface:
+
+    * ``bench``: the experiment tag ("e21", "e22", …);
+    * ``params``: the grid/profile the run used;
+    * ``columns`` + ``rows``: the printed table, verbatim;
+    * ``metrics``: named scalars (slopes, speedups) for direct comparison;
+    * ``host`` / ``created_unix``: provenance only, never compared.
+
+    ``path`` defaults to ``BENCH_<name>.json`` in the working directory.
+    """
+    out = Path(path) if path is not None else Path(f"BENCH_{name}.json")
+    payload = {
+        "bench": name,
+        "params": dict(params),
+        "columns": list(columns),
+        "rows": [list(row) for row in rows],
+        "metrics": dict(metrics or {}),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "created_unix": time.time(),
+    }
+    tmp = out.with_suffix(out.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, out)
+    print(f"  wrote {out}")
+    return out
 
 
 def checkpointed_loop(

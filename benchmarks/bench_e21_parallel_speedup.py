@@ -22,7 +22,7 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from _common import CONFIG, EPS, check
+from _common import CONFIG, EPS, check, write_bench_json
 
 from repro.experiments import acceptance_probability
 from repro.experiments.report import print_experiment
@@ -80,6 +80,20 @@ def main(argv: list[str] | None = None) -> int:
     by_count = {row[0]: row[-1] for row in rows}
     if 4 in by_count:
         check("speedup(4 workers) >= 2x", by_count[4] >= 2.0)
+    write_bench_json(
+        "e21",
+        params={
+            "trials": trials, "n": n, "k": args.k, "eps": EPS,
+            "workers": worker_counts, "smoke": bool(args.smoke),
+        },
+        columns=["workers", "wall_s", "trials_per_s", "accept_rate",
+                 "samples_per_trial", "speedup"],
+        rows=rows,
+        metrics={
+            "bit_identical": identical,
+            "speedup_by_workers": {str(row[0]): row[-1] for row in rows},
+        },
+    )
     return 0 if identical else 1
 
 

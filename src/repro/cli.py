@@ -21,6 +21,8 @@ import sys
 import time
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.budget import budget_table_row
 from repro.core.config import TesterConfig
 from repro.core.tester import test_histogram
@@ -42,6 +44,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="practical",
         help="constant profile (paper = literal worst-case constants)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["auto", "fast", "dense"],
+        default="auto",
+        help="projection DP engine for the check stage "
+        "(execution knob only; never changes the verdict)",
+    )
 
 
 def _add_workers(parser: argparse.ArgumentParser) -> None:
@@ -59,15 +68,28 @@ def _config(args: argparse.Namespace) -> TesterConfig:
     return TesterConfig.paper() if args.profile == "paper" else TesterConfig.practical()
 
 
+def _print_stage_table(verdict) -> None:
+    """Per-stage samples and wall-clock seconds from a Verdict's audit trail."""
+    stages = list(verdict.stage_timings) or list(verdict.stage_samples)
+    for stage in stages:
+        used = verdict.stage_samples.get(stage)
+        secs = verdict.stage_timings.get(stage)
+        used_s = f"{used:>14,.0f}" if used is not None else f"{'—':>14}"
+        secs_s = f"{secs:>9.4f}s" if secs is not None else f"{'—':>10}"
+        print(f"  {stage:<10}: {used_s} samples  {secs_s}")
+
+
 def _cmd_test(args: argparse.Namespace) -> int:
     dist = make(args.workload, args.n, args.k, args.eps, rng=args.seed)
-    verdict = test_histogram(dist, args.k, args.eps, config=_config(args), rng=args.seed + 1)
+    verdict = test_histogram(
+        dist, args.k, args.eps, config=_config(args), rng=args.seed + 1,
+        projection_engine=args.engine,
+    )
     print(f"workload  : {args.workload} ({REGISTRY[args.workload].nature})")
     print(f"verdict   : {'ACCEPT' if verdict.accept else 'REJECT'} (stage: {verdict.stage})")
     print(f"reason    : {verdict.reason}")
     print(f"samples   : {verdict.samples_used:,.0f}")
-    for stage, used in verdict.stage_samples.items():
-        print(f"  {stage:<10}: {used:,.0f}")
+    _print_stage_table(verdict)
     return 0
 
 
@@ -75,7 +97,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
     dist = make(args.workload, args.n, args.k, args.eps, rng=args.seed)
     result = select_k(
         dist, args.eps, k_max=args.k_max, repeats=args.repeats,
-        config=_config(args), rng=args.seed + 1,
+        config=_config(args), rng=args.seed + 1, projection_engine=args.engine,
     )
     print(f"workload   : {args.workload}")
     print(f"selected k : {result.k}")
@@ -118,6 +140,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"workers   : {args.workers if args.workers is not None else 1}")
     print(f"estimate  : {estimate}")
     print(f"wall time : {elapsed:.2f}s ({args.trials / elapsed:.1f} trials/s)")
+    if args.stage_timings:
+        # One representative in-process trial — aggregated parallel trials
+        # don't surface Verdict audit fields, so profile a single run.
+        gen = np.random.default_rng(args.seed)
+        verdict = test_histogram(
+            workload(gen), args.k, args.eps, config=_config(args),
+            rng=args.seed, projection_engine=args.engine,
+        )
+        print(f"stage timings (1 representative trial, engine={args.engine}):")
+        _print_stage_table(verdict)
     if args.compare_serial:
         serial_estimate, serial_elapsed = timed(None)
         identical = serial_estimate == estimate
@@ -200,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         default=False,
         help="rerun serially, report the speedup, and verify bit-identical results",
+    )
+    p_bench.add_argument(
+        "--stage-timings",
+        action="store_true",
+        default=False,
+        help="also profile one in-process trial and print per-stage "
+        "wall-clock timings (partition/learn/sieve/check/chi2)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

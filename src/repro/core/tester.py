@@ -18,6 +18,7 @@ The tester draws samples exclusively through a
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -51,6 +52,10 @@ class Verdict:
     sieve: Optional[SieveResult] = None
     chi2: Optional[Chi2Result] = None
     stage_samples: dict = field(default_factory=dict)
+    #: Wall-clock seconds per stage (partition/learn/sieve/check/chi2),
+    #: recorded with ``time.perf_counter``; purely observational — no
+    #: decision depends on it.
+    stage_timings: dict = field(default_factory=dict)
 
     def __bool__(self) -> bool:
         return self.accept
@@ -63,6 +68,7 @@ def test_histogram(
     *,
     config: TesterConfig | None = None,
     rng: RandomState = None,
+    projection_engine: str = "auto",
 ) -> Verdict:
     """Test whether the unknown distribution is a ``k``-histogram.
 
@@ -80,6 +86,10 @@ def test_histogram(
         The TV-distance proximity parameter.
     config:
         Constant profile; defaults to :meth:`TesterConfig.practical`.
+    projection_engine:
+        Which DP engine backs the Step-10 check ("auto" | "fast" |
+        "dense"); a pure execution knob that never changes the verdict, so
+        it is a call parameter rather than part of ``TesterConfig``.
 
     Returns
     -------
@@ -97,6 +107,7 @@ def test_histogram(
     n = source.n
     start = source.samples_drawn
     stage_samples: dict[str, float] = {}
+    stage_timings: dict[str, float] = {}
 
     # H_k for k >= n is all of Δ([n]): accept without drawing a sample.
     if k >= n:
@@ -132,18 +143,23 @@ def test_histogram(
             eps=eps,
         )
     mark = source.samples_drawn
+    tick = time.perf_counter()
     partition = approx_partition(source, b, config.partition_samples(k, eps))
     stage_samples["partition"] = source.samples_drawn - mark
+    stage_timings["partition"] = time.perf_counter() - tick
 
     # ----- Stage 2: learn [line 4] -------------------------------------------
     mark = source.samples_drawn
+    tick = time.perf_counter()
     learned = learn_histogram(
         source, partition, config.learner_samples(len(partition), eps)
     )
     stage_samples["learn"] = source.samples_drawn - mark
+    stage_timings["learn"] = time.perf_counter() - tick
 
     # ----- Stage 3: sieve [lines 6-8] ----------------------------------------
     mark = source.samples_drawn
+    tick = time.perf_counter()
     if config.sieve_enabled:
         sieve = sieve_intervals(source, learned, k, eps, config)
     else:
@@ -159,6 +175,7 @@ def test_histogram(
             final_statistic=float("nan"),
         )
     stage_samples["sieve"] = source.samples_drawn - mark
+    stage_timings["sieve"] = time.perf_counter() - tick
     if sieve.rejected:
         return Verdict(
             accept=False,
@@ -171,16 +188,20 @@ def test_histogram(
             learned=learned,
             sieve=sieve,
             stage_samples=stage_samples,
+            stage_timings=stage_timings,
         )
 
     # ----- Stage 4: check [line 10] ------------------------------------------
+    tick = time.perf_counter()
     close = exists_close_histogram(
         learned.to_pmf(),
         partition,
         k,
         sieve.kept,
         config.check_tolerance(eps),
+        engine=projection_engine,
     )
+    stage_timings["check"] = time.perf_counter() - tick
     if not close:
         return Verdict(
             accept=False,
@@ -196,12 +217,14 @@ def test_histogram(
             learned=learned,
             sieve=sieve,
             stage_samples=stage_samples,
+            stage_timings=stage_timings,
         )
 
     # ----- Stage 5: final χ² test [line 13] ----------------------------------
     eps_final = config.final_eps(eps)
     kept_points = partition.restrict_mask(list(np.flatnonzero(sieve.kept)))
     mark = source.samples_drawn
+    tick = time.perf_counter()
     chi2 = chi2_test(
         source,
         learned,
@@ -214,6 +237,7 @@ def test_histogram(
         repeats=config.chi2_repeat_count(k),
     )
     stage_samples["chi2"] = source.samples_drawn - mark
+    stage_timings["chi2"] = time.perf_counter() - tick
     reason = (
         f"final χ² statistic {chi2.statistic:.4g} "
         f"{'<=' if chi2.accept else '>'} threshold {chi2.threshold:.4g}"
@@ -230,6 +254,7 @@ def test_histogram(
         sieve=sieve,
         chi2=chi2,
         stage_samples=stage_samples,
+        stage_timings=stage_timings,
     )
 
 

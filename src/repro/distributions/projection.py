@@ -28,6 +28,18 @@ a coarse, piece-granularity variant operating on an explicit base partition
 case, where the unknown histogram is constant on every kept interval, and
 safe in the soundness case, where searching a subclass can only make the
 check stricter).
+
+Two interchangeable execution engines back the public API:
+
+* ``engine="dense"`` — the original O(n²)-memory cost-matrix build plus
+  ``_interval_dp``; simple, the golden reference, but cubic-ish time in
+  ``n`` for the flattening build.
+* ``engine="fast"`` — :mod:`repro.distributions.projection_engine`, a lazy
+  interval-cost oracle with a two-pass verified divide-and-conquer DP;
+  O(n·k) memory, near-linear oracle work per layer on structured inputs,
+  and equivalent to the dense result to ≤ 1e-12 in cost.
+* ``engine="auto"`` (default) — dense for small domains where the matrix
+  build is instant, fast above :data:`_AUTO_FAST_THRESHOLD`.
 """
 
 from __future__ import annotations
@@ -40,11 +52,37 @@ import numpy as np
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.distances import ArrayLike, _as_array
 from repro.distributions.histogram import Histogram
+from repro.distributions.projection_engine import project_intervals
 from repro.util.intervals import Partition
 
-#: Point-granularity DPs are O(n² k) time and O(n²) memory; refuse domains
-#: where that is plainly infeasible rather than hanging.
-_MAX_EXACT_N = 2048
+#: Dense point-granularity DPs are O(n² k) time and O(n²) memory; refuse
+#: domains where that is plainly infeasible rather than hanging.  The cap
+#: applies to explicit ``engine="dense"`` requests (kept high enough that
+#: benchmark comparisons against the fast engine stay possible).
+_MAX_DENSE_N = 8192
+
+#: Backwards-compatible alias for the historical dense cap; ``engine="auto"``
+#: switches to the fast engine above :data:`_AUTO_FAST_THRESHOLD` long before
+#: either cap is reached.
+_MAX_EXACT_N = _MAX_DENSE_N
+
+#: The fast engine is O(n·k) memory but still quadratic in adversarial
+#: cases; refuse absurd domains outright.
+_MAX_FAST_N = 1 << 20
+
+#: ``engine="auto"`` uses the dense build below this domain size (matrix
+#: build is microseconds there and has no oracle/bookkeeping overhead).
+_AUTO_FAST_THRESHOLD = 512
+
+_ENGINES = ("auto", "fast", "dense")
+
+
+def _resolve_engine(engine: str, n: int) -> str:
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if engine == "auto":
+        return "dense" if n <= _AUTO_FAST_THRESHOLD else "fast"
+    return engine
 
 
 @dataclass(frozen=True)
@@ -61,11 +99,13 @@ class Projection:
 # ---------------------------------------------------------------------------
 
 
-def _check_point_inputs(p: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+def _check_point_inputs(
+    p: np.ndarray, mask: np.ndarray | None, limit: int = _MAX_DENSE_N
+) -> np.ndarray:
     n = len(p)
-    if n > _MAX_EXACT_N:
+    if n > limit:
         raise ValueError(
-            f"point-granularity DP limited to n <= {_MAX_EXACT_N} (got {n}); "
+            f"point-granularity DP limited to n <= {limit} (got {n}); "
             "use the coarse variant on a base partition instead"
         )
     if mask is None:
@@ -74,6 +114,31 @@ def _check_point_inputs(p: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
     if mask.shape != (n,):
         raise ValueError("mask shape does not match the domain")
     return mask
+
+
+def _point_limit(resolved_engine: str) -> int:
+    return _MAX_DENSE_N if resolved_engine == "dense" else _MAX_FAST_N
+
+
+def _point_projection(
+    p: np.ndarray,
+    mask_arr: np.ndarray,
+    pieces: int,
+    objective: str,
+    resolved_engine: str,
+) -> tuple[float, np.ndarray]:
+    """Dispatch one point-granularity interval DP to the chosen engine;
+    returns the raw ℓ1 total and the boundary array (dense conventions)."""
+    if resolved_engine == "dense":
+        if objective == "flattening":
+            cost = _flattening_cost_matrix(p, mask_arr)
+        else:
+            cost = _median_cost_matrix(p, mask_arr)
+        return _interval_dp(cost, pieces)
+    total, bounds = project_intervals(
+        p, np.ones(len(p)), mask_arr, pieces, objective=objective
+    )
+    return total, bounds
 
 
 def _flattening_cost_matrix(p: np.ndarray, mask: np.ndarray) -> np.ndarray:
@@ -90,12 +155,13 @@ def _flattening_cost_matrix(p: np.ndarray, mask: np.ndarray) -> np.ndarray:
         tail_mask = mask[i:]
         lengths = np.arange(1, n - i + 1, dtype=np.float64)
         means = (prefix[i + 1 :] - prefix[i]) / lengths
-        # err[t, j'] = |p[i+t] - mean over [i, i+j'+1)| for t <= j'
+        # err[t, j'] = |p[i+t] - mean over [i, i+j'+1)| for t <= j'; the
+        # triangular column sums are the diagonal of the running cumsum,
+        # which avoids materialising an O((n-i)^2) boolean mask per row.
         err = np.abs(tail[:, None] - means[None, :])
         err[~tail_mask, :] = 0.0
-        tri = np.tril(np.ones((n - i, n - i), dtype=bool)).T
-        err = np.where(tri, err, 0.0)
-        cost[i, i + 1 :] = err.sum(axis=0)
+        np.cumsum(err, axis=0, out=err)
+        cost[i, i + 1 :] = err.diagonal()
     cost[np.arange(n + 1), np.arange(n + 1)] = 0.0
     return cost
 
@@ -201,58 +267,81 @@ def _interval_dp(cost: np.ndarray, pieces: int) -> tuple[float, np.ndarray]:
 
 
 def project_flattening(
-    dist: ArrayLike, k: int, mask: np.ndarray | None = None
+    dist: ArrayLike, k: int, mask: np.ndarray | None = None, *, engine: str = "auto"
 ) -> Projection:
     """Best-flattening projection of a pmf onto ``H_k`` (masked TV error)."""
     p = _as_array(dist)
-    mask_arr = _check_point_inputs(p, mask)
+    eng = _resolve_engine(engine, len(p))
+    mask_arr = _check_point_inputs(p, mask, _point_limit(eng))
     if k < 1:
         raise ValueError(f"k must be at least 1, got {k}")
-    cost = _flattening_cost_matrix(p, mask_arr)
-    l1, bounds = _interval_dp(cost, k)
+    l1, bounds = _point_projection(p, mask_arr, k, "flattening", eng)
     partition = Partition(bounds)
     hist = Histogram.from_masses(partition, partition.aggregate(p))
     return Projection(distance=0.5 * l1, histogram=hist, boundaries=bounds)
 
 
-def flattening_distance(dist: ArrayLike, k: int, mask: np.ndarray | None = None) -> float:
+def flattening_distance(
+    dist: ArrayLike, k: int, mask: np.ndarray | None = None, *, engine: str = "auto"
+) -> float:
     """``min_Π dTV(p, flatten_Π(p))`` over ≤ k-interval partitions.
 
     Upper bound on ``dTV(p, H_k)`` and at most twice it.
     """
-    return project_flattening(dist, k, mask).distance
+    return project_flattening(dist, k, mask, engine=engine).distance
+
+
+def distance_to_histogram(
+    dist: ArrayLike, k: int, mask: np.ndarray | None = None, *, engine: str = "auto"
+) -> float:
+    """Distance from ``dist`` to its best flattening in ``H_k`` — the
+    canonical surrogate for ``dTV(p, H_k)`` used throughout the suite.
+
+    This is a genuine distance to a member of ``H_k`` (the flattened
+    histogram), hence always an upper bound on ``dTV(p, H_k)``, and at most
+    twice it.  Use :func:`histogram_distance_bounds` when a certified lower
+    bound is also needed.
+    """
+    return project_flattening(dist, k, mask, engine=engine).distance
 
 
 def flattening_profile(
-    dist: ArrayLike, k_max: int, mask: np.ndarray | None = None
+    dist: ArrayLike, k_max: int, mask: np.ndarray | None = None, *, engine: str = "auto"
 ) -> np.ndarray:
     """``flattening_distance(dist, k)`` for every ``k`` in ``1..k_max`` at the
-    cost of a single cost-matrix build and one DP pass.
+    cost of a single cost build and one DP pass.
 
     The DP's ``r``-th iteration is exactly the best-with-≤-r-pieces value,
     so the whole profile falls out of intermediate states.  Use this for
     "minimal sufficient k" searches — calling :func:`flattening_distance`
-    per k rebuilds the O(n²)-per-row cost matrix every time.
+    per k redoes the cost work every time.
     """
     p = _as_array(dist)
-    mask_arr = _check_point_inputs(p, mask)
+    eng = _resolve_engine(engine, len(p))
+    mask_arr = _check_point_inputs(p, mask, _point_limit(eng))
     if k_max < 1:
         raise ValueError(f"k_max must be at least 1, got {k_max}")
     n = len(p)
-    cost = _flattening_cost_matrix(p, mask_arr)
-    f = np.full(n + 1, np.inf)
-    f[0] = 0.0
-    profile = np.empty(min(k_max, n), dtype=np.float64)
-    for r in range(len(profile)):
-        f = np.min(f[:, None] + cost, axis=0)
-        profile[r] = 0.5 * f[n]
+    if eng == "dense":
+        cost = _flattening_cost_matrix(p, mask_arr)
+        f = np.full(n + 1, np.inf)
+        f[0] = 0.0
+        profile = np.empty(min(k_max, n), dtype=np.float64)
+        for r in range(len(profile)):
+            f = np.min(f[:, None] + cost, axis=0)
+            profile[r] = 0.5 * f[n]
+    else:
+        _, _, raw = project_intervals(
+            p, np.ones(n), mask_arr, min(k_max, n), return_profile=True
+        )
+        profile = 0.5 * raw
     if k_max > n:
         profile = np.concatenate((profile, np.full(k_max - n, profile[-1])))
     return profile
 
 
 def unconstrained_l1_distance(
-    dist: ArrayLike, k: int, mask: np.ndarray | None = None
+    dist: ArrayLike, k: int, mask: np.ndarray | None = None, *, engine: str = "auto"
 ) -> float:
     """``min_h ½‖p − h‖₁`` over ≤ k-piece functions with no mass constraint.
 
@@ -260,23 +349,23 @@ def unconstrained_l1_distance(
     ``H_k`` is in particular a ≤ k-piece non-negative function.
     """
     p = _as_array(dist)
-    mask_arr = _check_point_inputs(p, mask)
+    eng = _resolve_engine(engine, len(p))
+    mask_arr = _check_point_inputs(p, mask, _point_limit(eng))
     if k < 1:
         raise ValueError(f"k must be at least 1, got {k}")
-    cost = _median_cost_matrix(p, mask_arr)
-    l1, _ = _interval_dp(cost, k)
-    # The running-median cost is computed by subtraction and can come out a
+    l1, _ = _point_projection(p, mask_arr, k, "median", eng)
+    # The per-interval cost is computed by subtraction and can come out a
     # few ulp below zero on exact histograms; a certified lower bound must
     # never be negative.
     return max(0.0, 0.5 * l1)
 
 
 def histogram_distance_bounds(
-    dist: ArrayLike, k: int, mask: np.ndarray | None = None
+    dist: ArrayLike, k: int, mask: np.ndarray | None = None, *, engine: str = "auto"
 ) -> tuple[float, float]:
     """``(lower, upper)`` bounds sandwiching ``dTV(p, H_k)``."""
-    lower = unconstrained_l1_distance(dist, k, mask)
-    upper = flattening_distance(dist, k, mask)
+    lower = unconstrained_l1_distance(dist, k, mask, engine=engine)
+    upper = flattening_distance(dist, k, mask, engine=engine)
     return lower, upper
 
 
@@ -346,6 +435,7 @@ def coarse_flattening_projection(
     kept: np.ndarray | None = None,
     *,
     max_base: int = _MAX_PROJECTION_BASE,
+    engine: str = "auto",
 ) -> Projection:
     """Best flattening of ``dist`` whose breakpoints lie on borders of
     ``base``, with TV error counted only on the kept intervals.
@@ -383,6 +473,26 @@ def coarse_flattening_projection(
     first_values = p[base.boundaries[:-1]]
     piecewise_constant = bool(np.allclose(base.flatten(p), p, atol=1e-15))
 
+    eng = _resolve_engine(engine, big_k)
+    if piecewise_constant and eng == "fast":
+        # Fast-engine path: pieces become weighted points (weight = length,
+        # value = piece height).  ``mean_numerator`` carries the piece
+        # masses so the interval mean is mass/length exactly as in the
+        # dense build.
+        l1, coarse_bounds = project_intervals(
+            first_values,
+            lengths,
+            kept,
+            k,
+            mean_numerator=masses,
+        )
+        domain_bounds = base.boundaries[coarse_bounds]
+        partition = Partition(domain_bounds)
+        hist = Histogram.from_masses(partition, partition.aggregate(p))
+        return Projection(
+            distance=0.5 * l1 + extra_error, histogram=hist, boundaries=domain_bounds
+        )
+
     if piecewise_constant:
         # Vectorised path (the Algorithm 1 case: p = D̂ is constant on each
         # base piece).  cost[a, b] = Σ_{q∈[a,b), kept} len_q·|val_q − μ_ab|.
@@ -394,8 +504,10 @@ def coarse_flattening_projection(
             mus = (mass_prefix[a + 1 :] - mass_prefix[a]) / span_len  # (big_k - a,)
             dev = np.abs(first_values[a:, None] - mus[None, :])  # (q', b')
             dev *= weights[a:, None]
-            upper = np.tri(big_k - a, big_k - a, dtype=bool).T  # q' <= b'
-            cost[a, a + 1 :] = np.where(upper, dev, 0.0).sum(axis=0)
+            # Triangular (q' <= b') column sums via running cumsum diagonal —
+            # no O((big_k - a)^2) boolean mask temporary.
+            np.cumsum(dev, axis=0, out=dev)
+            cost[a, a + 1 :] = dev.diagonal()
     else:
         # Generic path: within-piece values vary, so evaluate each piece's
         # deviation from the merged mean through its sorted values.
@@ -441,6 +553,8 @@ def exists_close_histogram(
     k: int,
     kept: np.ndarray,
     tolerance: float,
+    *,
+    engine: str = "auto",
 ) -> bool:
     """Step-10 check: is some ``D* ∈ H_k`` within ``tolerance`` of ``dist``
     in TV restricted to the kept subdomain?
@@ -450,11 +564,11 @@ def exists_close_histogram(
     """
     if tolerance < 0:
         raise ValueError(f"tolerance must be non-negative, got {tolerance}")
-    projection = coarse_flattening_projection(dist, base, k, kept)
+    projection = coarse_flattening_projection(dist, base, k, kept, engine=engine)
     return projection.distance <= tolerance
 
 
-def project_pmf(dist: ArrayLike, k: int) -> DiscreteDistribution:
+def project_pmf(dist: ArrayLike, k: int, *, engine: str = "auto") -> DiscreteDistribution:
     """Convenience: the best-flattening k-histogram of a pmf, as a
     sampleable distribution (used by the learn-then-project baseline)."""
-    return project_flattening(dist, k).histogram.to_distribution()
+    return project_flattening(dist, k, engine=engine).histogram.to_distribution()

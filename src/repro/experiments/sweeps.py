@@ -43,6 +43,11 @@ class SweepResult:
     axis: str
     points: list[SweepPoint]
     exponent: float  # slope of log(samples) vs log(axis value)
+    #: Optional per-point ground-truth labels (``label_ground_truth=True``):
+    #: one ``{"complete": {...}, "far": {...}}`` entry per point with the
+    #: certified ``(lower, upper)`` dTV(·, H_k) bounds of each instance.
+    #: Never checkpointed — recomputed (memoized) on every run.
+    ground_truth: "list[dict[str, dict[str, float]]] | None" = None
 
     def axis_values(self) -> list[float]:
         return [getattr(p, self.axis) for p in self.points]
@@ -117,6 +122,30 @@ def _default_workloads(
     return StaircaseWorkload(n, k), FarFromHkWorkload(n, k, eps)
 
 
+#: Seed-stream tag for ground-truth labelling generators.  Labels get their
+#: own deterministic streams (tag + point index) so turning them on never
+#: consumes from — or reorders — the per-point trial streams, keeping
+#: labelled sweeps byte-identical to unlabelled ones.
+_LABEL_STREAM_TAG = 0x6C61_62656C  # b"label"
+
+
+def _label_point(
+    point: SweepPoint,
+    make_workloads: Callable[[int, int, float], tuple[Callable, Callable]],
+    index: int,
+) -> dict[str, dict[str, float]]:
+    """Certified dTV(·, H_k) bounds for one instance of each workload side."""
+    from repro.experiments.workloads import ground_truth_bounds
+
+    complete, far = make_workloads(point.n, point.k, point.eps)
+    labels: dict[str, dict[str, float]] = {}
+    for side, factory in (("complete", complete), ("far", far)):
+        gen = np.random.default_rng([_LABEL_STREAM_TAG, index])
+        lower, upper = ground_truth_bounds(factory(gen), point.k)
+        labels[side] = {"lower": lower, "upper": upper}
+    return labels
+
+
 #: Exactly the keys a serialised :class:`SweepPoint` may carry.
 _POINT_KEYS = frozenset({"n", "k", "eps", "estimate"})
 _ESTIMATE_KEYS = frozenset(ComplexityEstimate.__dataclass_fields__)
@@ -180,6 +209,7 @@ def complexity_sweep(
     resume: bool = True,
     policy: TrialPolicy | None = None,
     workers: int | None = None,
+    label_ground_truth: bool = False,
 ) -> SweepResult:
     """Sweep one axis (``"n"``, ``"k"`` or ``"eps"``) of the tester's
     empirical sample complexity; other parameters stay fixed.
@@ -204,6 +234,15 @@ def complexity_sweep(
     derived before any work is scheduled — so the fingerprint deliberately
     excludes the worker count and a checkpoint written at one worker count
     resumes correctly at any other.
+
+    ``label_ground_truth`` additionally computes certified
+    ``dTV(·, H_k)`` bounds for one representative complete/far instance per
+    sweep point (memoized via
+    :func:`repro.experiments.workloads.ground_truth_bounds`).  Labels ride
+    on :attr:`SweepResult.ground_truth` only: they use their own fixed seed
+    stream, never enter checkpoints, and leave the parameter fingerprint
+    and per-point trial streams untouched, so labelled and unlabelled runs
+    of the same sweep are byte-identical point for point.
     """
     if axis not in ("n", "k", "eps"):
         raise ValueError(f"axis must be one of n/k/eps, got {axis!r}")
@@ -279,7 +318,16 @@ def complexity_sweep(
                 }
             )
 
+    ground_truth = None
+    if label_ground_truth:
+        ground_truth = [
+            _label_point(point, make_workloads, index)
+            for index, point in enumerate(points)
+        ]
+
     xs = [float(getattr(p, axis)) for p in points]
     ys = [p.estimate.samples for p in points]
     exponent = fit_power_law(xs, ys) if len(points) >= 2 else math.nan
-    return SweepResult(axis=axis, points=points, exponent=exponent)
+    return SweepResult(
+        axis=axis, points=points, exponent=exponent, ground_truth=ground_truth
+    )

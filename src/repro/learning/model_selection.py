@@ -41,8 +41,14 @@ def _amplified_test(
     eps: float,
     config: TesterConfig,
     repeats: int,
+    projection_engine: str = "auto",
 ) -> bool:
-    verdicts = [test_histogram(source, k, eps, config=config).accept for _ in range(repeats)]
+    verdicts = [
+        test_histogram(
+            source, k, eps, config=config, projection_engine=projection_engine
+        ).accept
+        for _ in range(repeats)
+    ]
     return majority(verdicts)
 
 
@@ -55,6 +61,7 @@ def select_k(
     confidence: float = 0.9,
     repeats: int | None = None,
     rng: RandomState = None,
+    projection_engine: str = "auto",
 ) -> ModelSelectionResult:
     """Doubling + binary search for the smallest accepted ``k``, then learn.
 
@@ -95,7 +102,7 @@ def select_k(
     accepted_k: int | None = None
     while True:
         probe = min(k, k_max)
-        ok = _amplified_test(source, probe, eps, config, repeats)
+        ok = _amplified_test(source, probe, eps, config, repeats, projection_engine)
         trace[probe] = ok
         tests += 1
         if ok:
@@ -113,7 +120,7 @@ def select_k(
     hi = accepted_k
     while lo < hi:
         mid = (lo + hi) // 2
-        ok = _amplified_test(source, mid, eps, config, repeats)
+        ok = _amplified_test(source, mid, eps, config, repeats, projection_engine)
         trace[mid] = ok
         tests += 1
         if ok:
@@ -122,7 +129,9 @@ def select_k(
             lo = mid + 1
     selected = hi
 
-    histogram = learn_histogram_agnostic(source, selected, eps)
+    histogram = learn_histogram_agnostic(
+        source, selected, eps, projection_engine=projection_engine
+    )
     return ModelSelectionResult(
         k=selected,
         histogram=histogram,

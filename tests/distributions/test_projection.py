@@ -147,7 +147,15 @@ class TestExactDP:
         with pytest.raises(ValueError):
             flattening_distance(np.ones(4) / 4, 2, np.array([True]))
         with pytest.raises(ValueError):
-            flattening_distance(np.ones(5000) / 5000, 2)  # over the size cap
+            flattening_distance(np.ones(4) / 4, 2, engine="nope")
+
+    def test_size_caps_per_engine(self):
+        # Over the dense cap: explicit dense refuses, auto routes to the
+        # fast engine and succeeds (a uniform pmf is one flat piece).
+        big = np.ones(9000) / 9000
+        with pytest.raises(ValueError):
+            flattening_distance(big, 2, engine="dense")
+        assert flattening_distance(big, 2) == pytest.approx(0.0, abs=1e-12)
 
 
 class TestCoarseDP:

@@ -98,6 +98,22 @@ class TestSweepDeterminism:
         }
         assert len(set(payloads.values())) == 1, payloads
 
+    def test_labelled_sweep_byte_identical_across_workers(self):
+        """Ground-truth labelling (memoized projection cache + its own seed
+        streams) must not break the worker-count determinism contract."""
+        results = [
+            complexity_sweep(
+                "n", self.VALUES, rng=3, workers=workers,
+                label_ground_truth=True, **self.KWARGS,
+            )
+            for workers in (None, 2)
+        ]
+        assert len({sweep_json(r) for r in results}) == 1
+        assert results[0].ground_truth == results[1].ground_truth
+        # Labelled and unlabelled runs agree point for point.
+        plain = complexity_sweep("n", self.VALUES, rng=3, **self.KWARGS)
+        assert sweep_json(plain) == sweep_json(results[0])
+
     def test_checkpoint_resume_mid_sweep_across_worker_counts(self, tmp_path):
         """A sweep interrupted under one worker count resumes under another
         to the exact uninterrupted serial result, byte for byte."""

@@ -65,6 +65,55 @@ class TestComplexitySweep:
             complexity_sweep("n", [])
 
 
+class TestGroundTruthLabels:
+    KWARGS = dict(k=3, eps=0.35, config=TesterConfig.practical(),
+                  trials=3, bisection_steps=2)
+
+    def test_labels_attached_per_point(self):
+        sweep = complexity_sweep(
+            "n", [400, 800], rng=5, label_ground_truth=True, **self.KWARGS
+        )
+        assert sweep.ground_truth is not None
+        assert len(sweep.ground_truth) == len(sweep.points)
+        for entry in sweep.ground_truth:
+            assert set(entry) == {"complete", "far"}
+            # Staircase instances are genuine 3-histograms; sawtooth
+            # instances are certified eps-far.
+            assert entry["complete"]["upper"] <= 1e-9
+            assert entry["far"]["lower"] >= 0.35 - 1e-9
+
+    def test_labelling_never_perturbs_points(self):
+        plain = complexity_sweep("n", [400, 800], rng=5, **self.KWARGS)
+        labelled = complexity_sweep(
+            "n", [400, 800], rng=5, label_ground_truth=True, **self.KWARGS
+        )
+        assert plain.ground_truth is None
+        assert plain.points == labelled.points
+        assert plain.exponent == labelled.exponent
+
+    def test_labelling_never_perturbs_checkpoints(self, tmp_path):
+        path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+        complexity_sweep("n", [400], rng=5, checkpoint=path_a, **self.KWARGS)
+        complexity_sweep(
+            "n", [400], rng=5, checkpoint=path_b, label_ground_truth=True,
+            **self.KWARGS,
+        )
+        assert json.dumps(CheckpointStore(path_a).load(), sort_keys=True) == \
+            json.dumps(CheckpointStore(path_b).load(), sort_keys=True)
+
+    def test_resumed_sweep_is_labelled(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        complexity_sweep("n", [400, 800], rng=5, checkpoint=path, **self.KWARGS)
+        resumed = complexity_sweep(
+            "n", [400, 800], rng=5, checkpoint=path, label_ground_truth=True,
+            **self.KWARGS,
+        )
+        # Labels are recomputed on resume (memoized, never checkpointed) —
+        # every point gets one even if its trials came from the checkpoint.
+        assert resumed.ground_truth is not None
+        assert len(resumed.ground_truth) == 2
+
+
 class TestPointJsonRoundTrip:
     POINT = SweepPoint(
         n=1200,

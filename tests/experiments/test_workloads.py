@@ -6,9 +6,12 @@ import pytest
 from repro.distributions.histogram import is_k_histogram
 from repro.distributions.projection import unconstrained_l1_distance
 from repro.experiments.workloads import (
+    _GROUND_TRUTH_CACHE,
+    _GROUND_TRUTH_CACHE_SIZE,
     REGISTRY,
     completeness_workloads,
     get_workload,
+    ground_truth_bounds,
     make,
     soundness_workloads,
 )
@@ -55,3 +58,39 @@ class TestRegistry:
 
     def test_descriptions_present(self):
         assert all(w.description for w in REGISTRY.values())
+
+
+class TestGroundTruthBounds:
+    def test_matches_unmemoized_bounds(self):
+        from repro.distributions.projection import histogram_distance_bounds
+
+        dist = make("zipf", N, K, EPS, rng=0)
+        assert ground_truth_bounds(dist, K) == histogram_distance_bounds(dist.pmf, K)
+
+    def test_memoizes_by_pmf_bytes_and_k(self):
+        _GROUND_TRUTH_CACHE.clear()
+        dist = make("staircase", N, K, EPS, rng=0)
+        first = ground_truth_bounds(dist, K)
+        assert len(_GROUND_TRUTH_CACHE) == 1
+        # Same pmf content from a fresh array hits the cache; different k
+        # does not.
+        assert ground_truth_bounds(dist.pmf.copy(), K) == first
+        assert len(_GROUND_TRUTH_CACHE) == 1
+        ground_truth_bounds(dist, K + 1)
+        assert len(_GROUND_TRUTH_CACHE) == 2
+
+    def test_cache_is_bounded(self):
+        _GROUND_TRUTH_CACHE.clear()
+        gen = np.random.default_rng(0)
+        for _ in range(_GROUND_TRUTH_CACHE_SIZE + 10):
+            ground_truth_bounds(gen.dirichlet(np.ones(6)), 2)
+        assert len(_GROUND_TRUTH_CACHE) == _GROUND_TRUTH_CACHE_SIZE
+
+    def test_labels_separate_complete_from_far(self):
+        complete = make("staircase", N, K, EPS, rng=1)
+        far = make("sawtooth-uniform", N, K, EPS, rng=1)
+        lower_c, upper_c = ground_truth_bounds(complete, K)
+        lower_f, _ = ground_truth_bounds(far, K)
+        assert upper_c <= 1e-9
+        assert lower_f >= EPS - 1e-9
+        assert lower_c <= upper_c + 1e-12
