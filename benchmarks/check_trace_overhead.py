@@ -1,0 +1,104 @@
+"""CI perf-smoke gate for the observability layer.
+
+Two gates over a freshly produced ``BENCH_e23.json`` (see
+``bench_e23_observability.py``):
+
+* **no-op tracer overhead** — the instrumented pipeline run with the
+  default :data:`~repro.observability.trace.NULL_TRACER` must stay within
+  5% of the committed pre-instrumentation baseline timing
+  (``baselines/BENCH_e23_baseline.json``), times ``--factor`` headroom for
+  slower CI hosts (default 2.0, overridable via ``REPRO_PERF_FACTOR`` —
+  set 1.0 on the reference host to enforce the bare 5%);
+* **trace schema** — the trace file the benchmark wrote must validate
+  line-by-line against the JSONL event schema, with strictly increasing
+  ``seq`` (:func:`repro.observability.trace.validate_trace`).
+
+Usage::
+
+    python benchmarks/check_trace_overhead.py BENCH_e23.json
+        [--baseline PATH] [--factor 2.0]
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.observability.trace import validate_trace
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_e23_baseline.json"
+OVERHEAD_BUDGET = 0.05  # the acceptance bar: <= 5% on the reference host
+
+
+def load(path: "str | Path") -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if "metrics" not in data or "bench" not in data:
+        raise SystemExit(f"{path}: not a BENCH_*.json payload")
+    return data
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly produced BENCH_e23.json")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--factor", type=float, default=None,
+                        help="host-speed headroom multiplier (default 2.0)")
+    args = parser.parse_args(argv)
+
+    factor = args.factor
+    if factor is None:
+        factor = float(os.environ.get("REPRO_PERF_FACTOR", "2.0"))
+    if factor <= 0:
+        raise SystemExit(f"factor must be positive, got {factor}")
+
+    fresh, base = load(args.fresh), load(args.baseline)
+    if fresh["bench"] != base["bench"]:
+        raise SystemExit(
+            f"bench mismatch: fresh={fresh['bench']!r} baseline={base['bench']!r}"
+        )
+
+    failures = []
+
+    base_off = base["metrics"]["tracer_off_seconds"]
+    fresh_off = fresh["metrics"]["tracer_off_seconds"]
+    allowed = base_off * (1.0 + OVERHEAD_BUDGET) * factor
+    verdict = "ok" if fresh_off <= allowed else "REGRESSION"
+    print(
+        f"no-op tracer gate: {fresh_off:.4f}s vs allowed {allowed:.4f}s "
+        f"(baseline {base_off:.4f}s x {1.0 + OVERHEAD_BUDGET:g} x factor "
+        f"{factor:g})  {verdict}"
+    )
+    if fresh_off > allowed:
+        failures.append("tracer-off overhead")
+
+    trace_file = fresh["metrics"].get("trace_file")
+    if not trace_file:
+        raise SystemExit("fresh metrics carry no trace_file to validate")
+    try:
+        events = validate_trace(trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"trace schema gate: FAILED — {exc}")
+        failures.append("trace schema")
+    else:
+        print(f"trace schema gate: {trace_file} ok ({events} events)")
+        recorded = fresh["metrics"].get("trace_events")
+        if recorded is not None and recorded != events:
+            print(
+                f"trace schema gate: event count drifted "
+                f"({recorded} at write time, {events} on disk)"
+            )
+            failures.append("trace event count")
+
+    if failures:
+        print(f"FAILED: {', '.join(failures)}")
+        return 1
+    print("all observability gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

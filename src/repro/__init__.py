@@ -25,7 +25,9 @@ Top-level re-exports cover the common surface; sub-packages hold the rest:
 * :mod:`repro.lowerbounds` — the Section 4 constructions (Theorem 1.2);
 * :mod:`repro.experiments` — the evaluation harness behind benchmarks/;
 * :mod:`repro.robustness` — fault injection, retry/deadline isolation, and
-  checkpoint/resume for fault-tolerant experiment execution.
+  checkpoint/resume for fault-tolerant experiment execution;
+* :mod:`repro.observability` — hierarchical span tracing (deterministic
+  JSONL), a metrics registry, and the integer-exact sample ledger.
 """
 
 from repro.audit import audit_histogram, recommend_buckets
@@ -36,6 +38,7 @@ from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.histogram import Histogram, is_k_histogram
 from repro.distributions.replay import ReplaySource
 from repro.distributions.sampling import SampleBudgetExceeded, SampleSource
+from repro.observability import NULL_TRACER, RecordingTracer, get_metrics
 from repro.robustness import FaultConfig, FaultInjectingSource
 
 __version__ = "1.0.0"
@@ -46,6 +49,8 @@ __all__ = [
     "FaultInjectingSource",
     "Histogram",
     "HistogramTester",
+    "NULL_TRACER",
+    "RecordingTracer",
     "ReplaySource",
     "SampleBudgetExceeded",
     "SampleSource",
@@ -54,6 +59,7 @@ __all__ = [
     "__version__",
     "audit_histogram",
     "families",
+    "get_metrics",
     "is_k_histogram",
     "recommend_buckets",
     "test_histogram",

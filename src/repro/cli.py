@@ -1,8 +1,9 @@
 """Command-line interface: ``python -m repro <command> …``.
 
-Five subcommands mirroring the library's main entry points:
+Six subcommands mirroring the library's main entry points:
 
-* ``test``    — run Algorithm 1 on a named workload;
+* ``test``    — run Algorithm 1 on a named workload (``--trace`` writes the
+  structured span trace as JSONL);
 * ``select``  — model selection (smallest ε-sufficient k) on a workload;
 * ``budget``  — print the sample-budget landscape for given (n, k, ε);
 * ``sweep``   — empirical sample-complexity sweep along one axis, with
@@ -11,7 +12,12 @@ Five subcommands mirroring the library's main entry points:
 * ``bench``   — repeated-trial acceptance benchmark of Algorithm 1 on a
   named workload, fanned out over ``--workers`` processes (results are
   bit-identical to serial; ``--compare-serial`` verifies and reports the
-  speedup).
+  speedup);
+* ``trace``   — inspect a trace file (``summarize`` renders per-span
+  aggregates, ``validate`` checks the JSONL schema and seq invariant).
+
+All RNG seeding goes through :func:`repro.util.rng.ensure_rng` so every
+entry point shares one seed-handling convention.
 """
 
 from __future__ import annotations
@@ -19,18 +25,25 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from collections import OrderedDict
 from typing import Sequence
-
-import numpy as np
 
 from repro.core.budget import budget_table_row
 from repro.core.config import TesterConfig
-from repro.core.tester import test_histogram
+from repro.core.tester import STAGE_ORDER, test_histogram
 from repro.experiments.report import format_table
 from repro.experiments.runner import acceptance_probability
 from repro.experiments.sweeps import HistogramTester, complexity_sweep
 from repro.experiments.workloads import REGISTRY, BoundWorkload, make
 from repro.learning.model_selection import select_k
+from repro.observability.trace import (
+    NULL_TRACER,
+    RecordingTracer,
+    read_jsonl,
+    validate_trace,
+    write_jsonl,
+)
+from repro.util.rng import ensure_rng
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -64,32 +77,58 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the structured span trace to this JSONL file "
+        "(inspect with `repro trace summarize PATH`)",
+    )
+
+
 def _config(args: argparse.Namespace) -> TesterConfig:
     return TesterConfig.paper() if args.profile == "paper" else TesterConfig.practical()
 
 
+def _stage_rows(verdict) -> list[str]:
+    """Stage names from *both* audit dicts, in stable pipeline order.
+
+    A stage can legitimately appear in only one dict (e.g. a timing with no
+    samples attributed, or vice versa), so iterate the key union rather than
+    either dict alone — otherwise rows silently vanish from the table.
+    """
+    union = set(verdict.stage_timings) | set(verdict.stage_samples)
+    ordered = [s for s in STAGE_ORDER if s in union]
+    ordered += sorted(union - set(STAGE_ORDER))  # future-proof: unknown stages last
+    return ordered
+
+
 def _print_stage_table(verdict) -> None:
     """Per-stage samples and wall-clock seconds from a Verdict's audit trail."""
-    stages = list(verdict.stage_timings) or list(verdict.stage_samples)
-    for stage in stages:
+    for stage in _stage_rows(verdict):
         used = verdict.stage_samples.get(stage)
         secs = verdict.stage_timings.get(stage)
-        used_s = f"{used:>14,.0f}" if used is not None else f"{'—':>14}"
+        used_s = f"{used:>14,}" if used is not None else f"{'—':>14}"
         secs_s = f"{secs:>9.4f}s" if secs is not None else f"{'—':>10}"
         print(f"  {stage:<10}: {used_s} samples  {secs_s}")
 
 
 def _cmd_test(args: argparse.Namespace) -> int:
-    dist = make(args.workload, args.n, args.k, args.eps, rng=args.seed)
+    dist = make(args.workload, args.n, args.k, args.eps, rng=ensure_rng(args.seed))
+    tracer = RecordingTracer() if args.trace else NULL_TRACER
     verdict = test_histogram(
         dist, args.k, args.eps, config=_config(args), rng=args.seed + 1,
-        projection_engine=args.engine,
+        projection_engine=args.engine, trace=tracer,
     )
     print(f"workload  : {args.workload} ({REGISTRY[args.workload].nature})")
     print(f"verdict   : {'ACCEPT' if verdict.accept else 'REJECT'} (stage: {verdict.stage})")
     print(f"reason    : {verdict.reason}")
-    print(f"samples   : {verdict.samples_used:,.0f}")
+    print(f"samples   : {verdict.samples_used:,}")
     _print_stage_table(verdict)
+    if args.trace:
+        write_jsonl(args.trace, tracer.export())
+        print(f"trace     : {args.trace} ({len(tracer.events)} events)")
     return 0
 
 
@@ -143,7 +182,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.stage_timings:
         # One representative in-process trial — aggregated parallel trials
         # don't surface Verdict audit fields, so profile a single run.
-        gen = np.random.default_rng(args.seed)
+        gen = ensure_rng(args.seed)
         verdict = test_histogram(
             workload(gen), args.k, args.eps, config=_config(args),
             rng=args.seed, projection_engine=args.engine,
@@ -167,6 +206,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     values = [float(v) for v in args.values.split(",") if v.strip()]
     if not values:
         raise SystemExit("--values must name at least one axis value")
+    tracer = RecordingTracer() if args.trace else NULL_TRACER
     result = complexity_sweep(
         args.axis,
         values,
@@ -180,6 +220,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
         workers=args.workers,
+        trace=tracer,
     )
     rows = [
         [getattr(p, result.axis), p.estimate.samples, p.estimate.scale,
@@ -194,6 +235,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"fitted exponent: {result.exponent:.3f}")
     if args.checkpoint:
         print(f"checkpoint     : {args.checkpoint}")
+    if args.trace:
+        write_jsonl(args.trace, tracer.export())
+        print(f"trace          : {args.trace} ({len(tracer.events)} events)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.action == "validate":
+        count = validate_trace(args.file)
+        print(f"{args.file}: OK ({count} events)")
+        return 0
+
+    events = read_jsonl(args.file)
+    # Aggregate per span/event name: occurrences, samples drawn, wall clock.
+    agg: "OrderedDict[str, dict]" = OrderedDict()
+    ledgers = []
+    for event in events:
+        if event["kind"] == "event" and event["name"].split("/")[-1] == "ledger":
+            ledgers.append(event["attrs"])
+        row = agg.setdefault(
+            event["name"], {"count": 0, "samples": 0, "secs": 0.0, "timed": False}
+        )
+        row["count"] += 1
+        samples = event["attrs"].get("samples")
+        if isinstance(samples, int) and not isinstance(samples, bool):
+            row["samples"] += samples
+        if event["duration_s"] is not None:
+            row["secs"] += event["duration_s"]
+            row["timed"] = True
+    rows = [
+        [name, r["count"], f"{r['samples']:,}",
+         f"{r['secs']:.4f}" if r["timed"] else "—"]
+        for name, r in agg.items()
+    ]
+    print(format_table(["span", "count", "samples", "seconds"], rows))
+    if ledgers:
+        total = sum(led.get("total", 0) for led in ledgers)
+        print(f"ledger events  : {len(ledgers)} (reconciled; {total:,} samples total)")
     return 0
 
 
@@ -207,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_test = sub.add_parser("test", help="run the k-histogram tester on a workload")
     p_test.add_argument("workload", choices=sorted(REGISTRY), help="named workload")
     _add_common(p_test)
+    _add_trace(p_test)
     p_test.set_defaults(func=_cmd_test)
 
     p_select = sub.add_parser("select", help="find the smallest eps-sufficient k")
@@ -269,7 +349,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="continue a matching checkpoint instead of discarding it",
     )
     _add_workers(p_sweep)
+    _add_trace(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_trace = sub.add_parser("trace", help="inspect a JSONL trace file")
+    p_trace.add_argument(
+        "action",
+        choices=["summarize", "validate"],
+        help="summarize: per-span aggregates; validate: schema + seq check",
+    )
+    p_trace.add_argument("file", help="trace file written by --trace")
+    p_trace.set_defaults(func=_cmd_trace)
 
     return parser
 

@@ -119,7 +119,9 @@ def capped_source(
 
     if slack <= 0:
         raise ValueError(f"slack must be positive, got {slack}")
-    cap = slack * algorithm1_budget(n, k, eps, config)
+    # Ceil exactly once: the cap is an integer from here on, so budget
+    # enforcement and ledger reconciliation never compare floats.
+    cap = math.ceil(slack * algorithm1_budget(n, k, eps, config))
     if cap <= 0:
         raise ValueError(f"degenerate budget cap {cap} for n={n}, k={k}")
     return SampleSource(dist, rng, max_samples=cap)

@@ -98,7 +98,7 @@ class Chi2Result:
     threshold: float
     m: float
     interval_statistics: np.ndarray
-    samples_used: float
+    samples_used: int
 
 
 def collect_interval_statistics(

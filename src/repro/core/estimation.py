@@ -46,7 +46,7 @@ class DistanceEstimate:
     low: float
     high: float
     point: float
-    samples_used: float
+    samples_used: int
 
     def __contains__(self, value: object) -> bool:
         if not isinstance(value, (int, float)):
@@ -114,5 +114,5 @@ def estimate_distance_to_hk(
     low = max(0.0, lower_raw - floor - accuracy / 2.0)
     high = upper_raw + accuracy / 2.0
     return DistanceEstimate(
-        low=low, high=high, point=point, samples_used=float(m)
+        low=low, high=high, point=point, samples_used=int(m)
     )

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.distributions.histogram import Histogram
 from repro.distributions.sampling import SampleSource
+from repro.observability.trace import NULL_TRACER, Tracer
 from repro.util.intervals import Partition
 
 
@@ -29,6 +30,7 @@ def learn_histogram(
     source: SampleSource,
     partition: Partition,
     num_samples: int,
+    trace: Tracer = NULL_TRACER,
 ) -> Histogram:
     """Run the Lemma 3.5 learner; returns ``D̂ ∈ H_K`` on ``partition``.
 
@@ -40,6 +42,7 @@ def learn_histogram(
     if partition.n != source.n:
         raise ValueError("partition does not cover the source domain")
     counts = source.draw_counts(num_samples)
+    trace.event("laplace", samples=num_samples, intervals=len(partition))
     return laplace_estimate(counts, partition)
 
 

@@ -41,6 +41,8 @@ from repro.core.chi2 import active_mask, collect_interval_statistics, interval_s
 from repro.core.config import TesterConfig
 from repro.distributions.histogram import Histogram
 from repro.distributions.sampling import SampleSource
+from repro.observability.metrics import get_metrics
+from repro.observability.trace import NULL_TRACER, Tracer
 from repro.util.intervals import Partition
 
 
@@ -53,7 +55,7 @@ class SieveResult:
     kept: np.ndarray  # boolean mask over the partition's intervals
     removed: np.ndarray  # indices of removed intervals, in removal order
     rounds: int
-    samples_used: float
+    samples_used: int
     final_statistic: float
 
     @property
@@ -67,6 +69,7 @@ def sieve_intervals(
     k: int,
     eps: float,
     config: TesterConfig,
+    trace: Tracer = NULL_TRACER,
 ) -> SieveResult:
     """Run the two-phase sieve; see the module docstring."""
     if k < 1:
@@ -99,23 +102,32 @@ def sieve_intervals(
             source, reference, m, partition, point_mask, repeats
         )
 
+    metrics = get_metrics()
+
     # ----- Phase A: one-shot removal of heavy statistics -------------------
-    stats = batch_statistics()
-    reused_stats = stats if not config.fresh_sieve_samples else None
-    heavy = (stats > heavy_threshold) & removable
-    if int(heavy.sum()) > k:
-        return SieveResult(
-            rejected=True,
-            reason=f"phase A: {int(heavy.sum())} heavy intervals exceed k={k}",
-            kept=kept,
-            removed=np.flatnonzero(heavy),
-            rounds=0,
-            samples_used=source.samples_drawn - before,
-            final_statistic=float(stats.sum()),
-        )
-    kept[heavy] = False
-    removed.extend(int(j) for j in np.flatnonzero(heavy))
-    remaining_budget = k - int(heavy.sum())
+    with trace.span("phase_a") as span_a:
+        mark = source.samples_drawn
+        stats = batch_statistics()
+        reused_stats = stats if not config.fresh_sieve_samples else None
+        heavy = (stats > heavy_threshold) & removable
+        num_heavy = int(heavy.sum())
+        span_a.set(removed=num_heavy, samples=source.samples_drawn - mark)
+        if num_heavy > k:
+            span_a.set(rejected=True)
+            metrics.counter("sieve.rejections", phase="A").inc()
+            return SieveResult(
+                rejected=True,
+                reason=f"phase A: {num_heavy} heavy intervals exceed k={k}",
+                kept=kept,
+                removed=np.flatnonzero(heavy),
+                rounds=0,
+                samples_used=source.samples_drawn - before,
+                final_statistic=float(stats.sum()),
+            )
+        kept[heavy] = False
+        removed.extend(int(j) for j in np.flatnonzero(heavy))
+        metrics.counter("sieve.removed", phase="A").inc(num_heavy)
+    remaining_budget = k - num_heavy
     per_round_budget = max(remaining_budget, 1)
 
     # ----- Phase B: iterative removal ---------------------------------------
@@ -124,41 +136,50 @@ def sieve_intervals(
     rounds_run = 0
     for _ in range(max_rounds):
         rounds_run += 1
-        stats = batch_statistics() if config.fresh_sieve_samples else reused_stats
-        kept_sum = float(stats[kept].sum())
-        final_statistic = kept_sum
-        if kept_sum < accept_threshold:
-            break
-        # Remove the largest removable statistics until the kept sum is at
-        # most the residual target; at most per_round_budget removals.
-        candidates = np.flatnonzero(kept & removable)
-        order = candidates[np.argsort(stats[candidates])[::-1]]
-        running = kept_sum
-        to_remove: list[int] = []
-        for j in order:
-            if running <= residual_target:
+        with trace.span("round", round=rounds_run) as span_r:
+            mark = source.samples_drawn
+            stats = batch_statistics() if config.fresh_sieve_samples else reused_stats
+            kept_sum = float(stats[kept].sum())
+            final_statistic = kept_sum
+            if kept_sum < accept_threshold:
+                span_r.set(removed=0, samples=source.samples_drawn - mark,
+                           early_accept=True)
                 break
-            if len(to_remove) >= per_round_budget:
-                break
-            to_remove.append(int(j))
-            running -= float(stats[j])
-        if running > residual_target:
-            return SieveResult(
-                rejected=True,
-                reason=(
-                    "phase B: residual statistic "
-                    f"{running:.4g} > target {residual_target:.4g} even after "
-                    f"removing {len(to_remove)} intervals"
-                ),
-                kept=kept,
-                removed=np.asarray(removed, dtype=np.int64),
-                rounds=rounds_run,
-                samples_used=source.samples_drawn - before,
-                final_statistic=running,
-            )
-        kept[to_remove] = False
-        removed.extend(to_remove)
-        final_statistic = running
+            # Remove the largest removable statistics until the kept sum is
+            # at most the residual target; at most per_round_budget removals.
+            candidates = np.flatnonzero(kept & removable)
+            order = candidates[np.argsort(stats[candidates])[::-1]]
+            running = kept_sum
+            to_remove: list[int] = []
+            for j in order:
+                if running <= residual_target:
+                    break
+                if len(to_remove) >= per_round_budget:
+                    break
+                to_remove.append(int(j))
+                running -= float(stats[j])
+            span_r.set(removed=len(to_remove), samples=source.samples_drawn - mark)
+            if running > residual_target:
+                span_r.set(rejected=True)
+                metrics.counter("sieve.rejections", phase="B").inc()
+                return SieveResult(
+                    rejected=True,
+                    reason=(
+                        "phase B: residual statistic "
+                        f"{running:.4g} > target {residual_target:.4g} even after "
+                        f"removing {len(to_remove)} intervals"
+                    ),
+                    kept=kept,
+                    removed=np.asarray(removed, dtype=np.int64),
+                    rounds=rounds_run,
+                    samples_used=source.samples_drawn - before,
+                    final_statistic=running,
+                )
+            kept[to_remove] = False
+            removed.extend(to_remove)
+            metrics.counter("sieve.removed", phase="B").inc(len(to_remove))
+            metrics.distribution("sieve.removed_per_round").observe(len(to_remove))
+            final_statistic = running
 
     return SieveResult(
         rejected=False,

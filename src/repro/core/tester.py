@@ -13,14 +13,21 @@ Pipeline (paper line numbers in brackets):
 
 The tester draws samples exclusively through a
 :class:`~repro.distributions.sampling.SampleSource`, so the reported
-``samples_used`` is exact and auditable.
+``samples_used`` is exact and auditable: every executed stage is entered in
+a :class:`~repro.observability.ledger.SampleLedger`, which is reconciled —
+integer equality, no tolerance — against the source's draw counter on
+*every* exit path before a :class:`Verdict` is returned.
+``Verdict.stage_samples`` / ``stage_timings`` are views over the same
+per-stage log that feeds the trace, so a ``--trace`` run and the verdict
+can never disagree.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -33,8 +40,15 @@ from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.histogram import Histogram
 from repro.distributions.projection import exists_close_histogram
 from repro.distributions.sampling import SampleSource, as_source
+from repro.observability.ledger import SampleLedger
+from repro.observability.metrics import get_metrics
+from repro.observability.trace import NULL_TRACER, Tracer
 from repro.util.intervals import Partition
 from repro.util.rng import RandomState
+
+#: Canonical stage order of the pipeline (used by the CLI stage table and
+#: trace summaries; early-exit verdicts record a prefix of it).
+STAGE_ORDER = ("partition", "learn", "sieve", "check", "chi2", "plugin")
 
 
 @dataclass(frozen=True)
@@ -42,15 +56,17 @@ class Verdict:
     """The tester's decision, with a full audit trail."""
 
     accept: bool
-    stage: str  # "trivial" | "sieve" | "check" | "chi2"
+    stage: str  # "trivial" | "sieve" | "check" | "chi2" | "plugin"
     reason: str
-    samples_used: float
+    samples_used: int
     k: int
     eps: float
     partition: Optional[Partition] = None
     learned: Optional[Histogram] = None
     sieve: Optional[SieveResult] = None
     chi2: Optional[Chi2Result] = None
+    #: Integer samples drawn per executed stage; sums *exactly* to
+    #: ``samples_used`` (ledger-reconciled on every exit path).
     stage_samples: dict = field(default_factory=dict)
     #: Wall-clock seconds per stage (partition/learn/sieve/check/chi2),
     #: recorded with ``time.perf_counter``; purely observational — no
@@ -61,6 +77,37 @@ class Verdict:
         return self.accept
 
 
+class _StageLog:
+    """Per-stage accounting shared by the verdict, the trace and the ledger.
+
+    One :meth:`stage` context per pipeline stage records the integer draw
+    count and wall-clock duration into the verdict's dicts, enters the
+    draws into the sample ledger, and closes a trace span carrying the same
+    numbers — a single source of truth for all three views.
+    """
+
+    def __init__(self, source: SampleSource, trace: Tracer, ledger: SampleLedger) -> None:
+        self._source = source
+        self._trace = trace
+        self._ledger = ledger
+        self.stage_samples: dict[str, int] = {}
+        self.stage_timings: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str, **attrs: object) -> Iterator[object]:
+        mark = self._source.samples_drawn
+        tick = time.perf_counter()
+        with self._trace.span(name, **attrs) as span:
+            try:
+                yield span
+            finally:
+                drew = self._source.samples_drawn - mark
+                span.set(samples=drew)
+                self.stage_samples[name] = drew
+                self.stage_timings[name] = time.perf_counter() - tick
+                self._ledger.record(name, drew)
+
+
 def test_histogram(
     dist: DiscreteDistribution | SampleSource,
     k: int,
@@ -69,6 +116,7 @@ def test_histogram(
     config: TesterConfig | None = None,
     rng: RandomState = None,
     projection_engine: str = "auto",
+    trace: Tracer = NULL_TRACER,
 ) -> Verdict:
     """Test whether the unknown distribution is a ``k``-histogram.
 
@@ -90,6 +138,11 @@ def test_histogram(
         Which DP engine backs the Step-10 check ("auto" | "fast" |
         "dense"); a pure execution knob that never changes the verdict, so
         it is a call parameter rather than part of ``TesterConfig``.
+    trace:
+        Observability sink (default: the no-op tracer).  A
+        :class:`~repro.observability.trace.RecordingTracer` captures one
+        span per stage, per-round sieve spans, and a final ``ledger``
+        event reconciling every draw.
 
     Returns
     -------
@@ -106,31 +159,60 @@ def test_histogram(
     source = as_source(dist, rng)
     n = source.n
     start = source.samples_drawn
-    stage_samples: dict[str, float] = {}
-    stage_timings: dict[str, float] = {}
 
+    with trace.span("test", n=n, k=k, eps=eps) as run_span:
+        verdict = _run_pipeline(
+            source, n, k, eps, config, projection_engine, trace, start
+        )
+        run_span.set(
+            accept=verdict.accept,
+            stage=verdict.stage,
+            samples_used=verdict.samples_used,
+        )
+    get_metrics().counter(
+        "tester.verdicts", stage=verdict.stage, accept=verdict.accept
+    ).inc()
+    return verdict
+
+
+def _run_pipeline(
+    source: SampleSource,
+    n: int,
+    k: int,
+    eps: float,
+    config: TesterConfig,
+    projection_engine: str,
+    trace: Tracer,
+    start: int,
+) -> Verdict:
     # H_k for k >= n is all of Δ([n]): accept without drawing a sample.
     if k >= n:
+        ledger = SampleLedger()
+        samples_used = _finish(trace, ledger, source.samples_drawn - start)
         return Verdict(
             accept=True,
             stage="trivial",
             reason=f"k={k} >= n={n}: every distribution is an n-histogram",
-            samples_used=0.0,
+            samples_used=samples_used,
             k=k,
             eps=eps,
         )
 
-    # ----- Stage 1: partition [line 3] --------------------------------------
     b = config.partition_b(k, eps)
     if 2.0 * b + 2.0 >= n / 2.0:
         # Degenerate regime k·log k/ε = Ω(n): the partition would be almost
         # all singletons and Algorithm 1's budget exceeds the trivial one.
         # The paper's efficiency case is k = o(n) (Section 1.1: "one can
         # always … compute the closest histogram offline from O(n) data
-        # points"); do exactly that here.
+        # points"); do exactly that here.  The plug-in draws Θ(n) samples,
+        # outside the Algorithm 1 budget formula, so its ledger is uncapped.
         from repro.baselines.learn_offline import learn_offline_test
 
-        plugin = learn_offline_test(source, k, eps)
+        ledger = SampleLedger()
+        log = _StageLog(source, trace, ledger)
+        with log.stage("plugin"):
+            plugin = learn_offline_test(source, k, eps)
+        samples_used = _finish(trace, ledger, source.samples_drawn - start)
         return Verdict(
             accept=plugin.accept,
             stage="plugin",
@@ -138,71 +220,78 @@ def test_histogram(
                 f"b={b:.0f} ~ n={n}: plug-in fallback; empirical distance "
                 f"{plugin.plugin_distance:.4g} vs threshold {plugin.threshold:.4g}"
             ),
-            samples_used=source.samples_drawn - start,
+            samples_used=samples_used,
             k=k,
             eps=eps,
+            stage_samples=dict(log.stage_samples),
+            stage_timings=dict(log.stage_timings),
         )
-    mark = source.samples_drawn
-    tick = time.perf_counter()
-    partition = approx_partition(source, b, config.partition_samples(k, eps))
-    stage_samples["partition"] = source.samples_drawn - mark
-    stage_timings["partition"] = time.perf_counter() - tick
+
+    from repro.core.budget import algorithm1_budget
+
+    ledger = SampleLedger(budget_cap=int(algorithm1_budget(n, k, eps, config)))
+    log = _StageLog(source, trace, ledger)
+
+    # ----- Stage 1: partition [line 3] --------------------------------------
+    with log.stage("partition", b=int(b)) as span:
+        partition = approx_partition(source, b, config.partition_samples(k, eps))
+        span.set(intervals=len(partition))
 
     # ----- Stage 2: learn [line 4] -------------------------------------------
-    mark = source.samples_drawn
-    tick = time.perf_counter()
-    learned = learn_histogram(
-        source, partition, config.learner_samples(len(partition), eps)
-    )
-    stage_samples["learn"] = source.samples_drawn - mark
-    stage_timings["learn"] = time.perf_counter() - tick
+    with log.stage("learn"):
+        learned = learn_histogram(
+            source, partition, config.learner_samples(len(partition), eps), trace
+        )
 
     # ----- Stage 3: sieve [lines 6-8] ----------------------------------------
-    mark = source.samples_drawn
-    tick = time.perf_counter()
-    if config.sieve_enabled:
-        sieve = sieve_intervals(source, learned, k, eps, config)
-    else:
-        # Ablation mode (E15): keep everything; the breakpoint intervals'
-        # chi2 mass flows straight into the final test.
-        sieve = SieveResult(
-            rejected=False,
-            reason="sieve disabled by configuration",
-            kept=np.ones(len(partition), dtype=bool),
-            removed=np.empty(0, dtype=np.int64),
-            rounds=0,
-            samples_used=0.0,
-            final_statistic=float("nan"),
-        )
-    stage_samples["sieve"] = source.samples_drawn - mark
-    stage_timings["sieve"] = time.perf_counter() - tick
+    with log.stage("sieve") as span:
+        if config.sieve_enabled:
+            sieve = sieve_intervals(source, learned, k, eps, config, trace)
+        else:
+            # Ablation mode (E15): keep everything; the breakpoint intervals'
+            # chi2 mass flows straight into the final test.
+            sieve = SieveResult(
+                rejected=False,
+                reason="sieve disabled by configuration",
+                kept=np.ones(len(partition), dtype=bool),
+                removed=np.empty(0, dtype=np.int64),
+                rounds=0,
+                samples_used=0,
+                final_statistic=float("nan"),
+            )
+        span.set(rounds=sieve.rounds, removed=sieve.num_removed,
+                 rejected=sieve.rejected)
     if sieve.rejected:
+        samples_used = _finish(trace, ledger, source.samples_drawn - start)
         return Verdict(
             accept=False,
             stage="sieve",
             reason=sieve.reason,
-            samples_used=source.samples_drawn - start,
+            samples_used=samples_used,
             k=k,
             eps=eps,
             partition=partition,
             learned=learned,
             sieve=sieve,
-            stage_samples=stage_samples,
-            stage_timings=stage_timings,
+            stage_samples=dict(log.stage_samples),
+            stage_timings=dict(log.stage_timings),
         )
 
     # ----- Stage 4: check [line 10] ------------------------------------------
-    tick = time.perf_counter()
-    close = exists_close_histogram(
-        learned.to_pmf(),
-        partition,
-        k,
-        sieve.kept,
-        config.check_tolerance(eps),
-        engine=projection_engine,
-    )
-    stage_timings["check"] = time.perf_counter() - tick
+    # Sample-free (pure DP over the learned pmf), but logged like every other
+    # stage so the per-stage views cover all executed work on all exit paths.
+    with log.stage("check") as span:
+        close = exists_close_histogram(
+            learned.to_pmf(),
+            partition,
+            k,
+            sieve.kept,
+            config.check_tolerance(eps),
+            engine=projection_engine,
+        )
+        span.set(close=bool(close))
     if not close:
+        samples_used = _finish(trace, ledger, source.samples_drawn - start)
         return Verdict(
             accept=False,
             stage="check",
@@ -210,34 +299,34 @@ def test_histogram(
                 f"no k-histogram within {config.check_tolerance(eps):.4g} of the "
                 "learned distribution on the kept domain"
             ),
-            samples_used=source.samples_drawn - start,
+            samples_used=samples_used,
             k=k,
             eps=eps,
             partition=partition,
             learned=learned,
             sieve=sieve,
-            stage_samples=stage_samples,
-            stage_timings=stage_timings,
+            stage_samples=dict(log.stage_samples),
+            stage_timings=dict(log.stage_timings),
         )
 
     # ----- Stage 5: final χ² test [line 13] ----------------------------------
     eps_final = config.final_eps(eps)
     kept_points = partition.restrict_mask(list(np.flatnonzero(sieve.kept)))
-    mark = source.samples_drawn
-    tick = time.perf_counter()
-    chi2 = chi2_test(
-        source,
-        learned,
-        eps_final,
-        m=config.chi2_samples(n, eps_final),
-        accept_fraction=config.chi2_accept_fraction,
-        truncation=config.chi2_truncation,
-        domain_mask=kept_points,
-        partition=partition,
-        repeats=config.chi2_repeat_count(k),
-    )
-    stage_samples["chi2"] = source.samples_drawn - mark
-    stage_timings["chi2"] = time.perf_counter() - tick
+    with log.stage("chi2") as span:
+        chi2 = chi2_test(
+            source,
+            learned,
+            eps_final,
+            m=config.chi2_samples(n, eps_final),
+            accept_fraction=config.chi2_accept_fraction,
+            truncation=config.chi2_truncation,
+            domain_mask=kept_points,
+            partition=partition,
+            repeats=config.chi2_repeat_count(k),
+        )
+        span.set(statistic=chi2.statistic, threshold=chi2.threshold,
+                 accept=chi2.accept)
+    samples_used = _finish(trace, ledger, source.samples_drawn - start)
     reason = (
         f"final χ² statistic {chi2.statistic:.4g} "
         f"{'<=' if chi2.accept else '>'} threshold {chi2.threshold:.4g}"
@@ -246,16 +335,24 @@ def test_histogram(
         accept=chi2.accept,
         stage="chi2",
         reason=reason,
-        samples_used=source.samples_drawn - start,
+        samples_used=samples_used,
         k=k,
         eps=eps,
         partition=partition,
         learned=learned,
         sieve=sieve,
         chi2=chi2,
-        stage_samples=stage_samples,
-        stage_timings=stage_timings,
+        stage_samples=dict(log.stage_samples),
+        stage_timings=dict(log.stage_timings),
     )
+
+
+def _finish(trace: Tracer, ledger: SampleLedger, samples_used: int) -> int:
+    """Reconcile the ledger against the source's counter and emit the audit
+    event.  Raises ``LedgerError`` on any leak/double-count/cap overrun."""
+    total = ledger.reconcile(samples_used)
+    trace.event("ledger", **ledger.as_attrs())
+    return total
 
 
 # The public name begins with "test_", which pytest would otherwise collect
@@ -282,10 +379,15 @@ class HistogramTester:
         self.config = config if config is not None else TesterConfig.practical()
 
     def test(
-        self, dist: DiscreteDistribution | SampleSource, rng: RandomState = None
+        self,
+        dist: DiscreteDistribution | SampleSource,
+        rng: RandomState = None,
+        trace: Tracer = NULL_TRACER,
     ) -> Verdict:
         """Run one test; see :func:`test_histogram`."""
-        return test_histogram(dist, self.k, self.eps, config=self.config, rng=rng)
+        return test_histogram(
+            dist, self.k, self.eps, config=self.config, rng=rng, trace=trace
+        )
 
     def expected_samples(self, n: int) -> float:
         """Closed-form estimate of the sample budget on a size-``n`` domain."""

@@ -84,6 +84,13 @@ _CHUNK = 1 << 18
 _OBJECTIVES = ("flattening", "median")
 
 
+def _count_cost_evals(objective: str, pairs: int) -> None:
+    """Meter oracle cost evaluations (one count per (a, b) pair queried)."""
+    from repro.observability.metrics import get_metrics
+
+    get_metrics().counter("projection.oracle_cost_evals", objective=objective).inc(pairs)
+
+
 def _sparse_table(arr: np.ndarray, op) -> np.ndarray:
     """``st[b, i] = op-reduce(arr[i : i + 2**b])`` for all valid ``i``."""
     n = len(arr)
@@ -322,6 +329,7 @@ class IntervalCostOracle:
     def flattening_costs(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
+        _count_cost_evals("flattening", len(a))
         out = np.zeros(len(a), dtype=np.float64)
         nz = b > a
         if not nz.any():
@@ -337,6 +345,7 @@ class IntervalCostOracle:
     def median_costs(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
+        _count_cost_evals("median", len(a))
         out = np.zeros(len(a), dtype=np.float64)
         mw = self._mw_pre[b] - self._mw_pre[a]
         nz = (b > a) & (mw > 0.0)

@@ -5,9 +5,17 @@ that honest (and to account sample budgets exactly, which the whole
 evaluation revolves around), every tester in this library draws through a
 :class:`SampleSource` — a wrapper around a distribution that exposes *only*
 sampling operations and counts every sample drawn.
+
+Accounting is **integer-exact**: every charge is coerced through
+:func:`charge_units` (``ceil`` for fractional Poissonized expectations), so
+``samples_drawn``/``lifetime_drawn`` are exact integers that per-stage
+ledgers can reconcile without tolerance (see
+:mod:`repro.observability.ledger`).
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -23,6 +31,19 @@ def counts_from_samples(samples: np.ndarray, n: int) -> np.ndarray:
     return np.bincount(samples, minlength=n).astype(np.int64)
 
 
+def charge_units(m: float) -> int:
+    """The integer budget charge for a requested draw size.
+
+    Exact draws pass through unchanged; fractional Poissonized expectations
+    round *up* — the conservative direction for a budget (never under-bill
+    against the cap), and the only choice that keeps per-stage ledger sums
+    integer-exact.
+    """
+    if m < 0:
+        raise ValueError(f"sample size must be non-negative, got {m}")
+    return int(math.ceil(m))
+
+
 class SampleBudgetExceeded(RuntimeError):
     """A draw would push a capped source past its ``max_samples`` limit.
 
@@ -32,11 +53,11 @@ class SampleBudgetExceeded(RuntimeError):
     from the closed-form budget of Algorithm 1.
     """
 
-    def __init__(self, requested: float, drawn: float, max_samples: float) -> None:
+    def __init__(self, requested: int, drawn: int, max_samples: int) -> None:
         super().__init__(
-            f"sample budget exhausted: draw of {requested:,.0f} would bring the "
-            f"total to {drawn + requested:,.0f}, over the cap of "
-            f"{max_samples:,.0f} — raise max_samples or shrink the "
+            f"sample budget exhausted: draw of {requested:,d} would bring the "
+            f"total to {drawn + requested:,d}, over the cap of "
+            f"{max_samples:,d} — raise max_samples or shrink the "
             "configuration (see repro.core.budget.algorithm1_budget)"
         )
         self.requested = requested
@@ -49,7 +70,8 @@ class SampleSource:
 
     ``poissonized`` draws report the *expected* number of samples to the
     budget (the standard accounting under the Poissonization trick: the
-    realised ``Poisson(m)`` count concentrates around ``m``).
+    realised ``Poisson(m)`` count concentrates around ``m``); a fractional
+    expectation is charged as ``ceil(m)`` so the books stay integral.
 
     ``max_samples`` optionally caps the *per-trial* total: a draw that would
     exceed it raises :class:`SampleBudgetExceeded` before serving anything.
@@ -73,19 +95,22 @@ class SampleSource:
     def _init_accounting(self, max_samples: float | None) -> None:
         if max_samples is not None and max_samples <= 0:
             raise ValueError(f"max_samples must be positive, got {max_samples}")
-        self._max_samples = None if max_samples is None else float(max_samples)
-        self._drawn = 0.0
-        self._lifetime_drawn = 0.0
+        # A fractional cap is ceiled once here; everything downstream is int.
+        self._max_samples = None if max_samples is None else charge_units(max_samples)
+        self._drawn = 0
+        self._lifetime_drawn = 0
+        self._draw_calls = 0
 
     def _check_budget(self, m: float) -> None:
-        if m < 0:
-            raise ValueError(f"sample size must be non-negative, got {m}")
-        if self._max_samples is not None and self._drawn + m > self._max_samples:
-            raise SampleBudgetExceeded(m, self._drawn, self._max_samples)
+        units = charge_units(m)
+        if self._max_samples is not None and self._drawn + units > self._max_samples:
+            raise SampleBudgetExceeded(units, self._drawn, self._max_samples)
 
     def _record(self, m: float) -> None:
-        self._drawn += m
-        self._lifetime_drawn += m
+        units = charge_units(m)
+        self._drawn += units
+        self._lifetime_drawn += units
+        self._draw_calls += 1
 
     def _charge(self, m: float) -> None:
         self._check_budget(m)
@@ -97,13 +122,13 @@ class SampleSource:
         return self._dist.n
 
     @property
-    def samples_drawn(self) -> float:
-        """Samples charged since the last ``reset_budget`` (expected counts
-        for Poisson draws)."""
+    def samples_drawn(self) -> int:
+        """Samples charged since the last ``reset_budget`` (ceiled expected
+        counts for Poisson draws).  Always an exact integer."""
         return self._drawn
 
     @property
-    def lifetime_drawn(self) -> float:
+    def lifetime_drawn(self) -> int:
         """Cumulative samples charged over the source's whole life.
 
         Unlike :attr:`samples_drawn` this is never reset: it audits total
@@ -112,14 +137,19 @@ class SampleSource:
         return self._lifetime_drawn
 
     @property
-    def max_samples(self) -> float | None:
-        """The per-trial hard cap, or ``None`` when unenforced."""
+    def draw_calls(self) -> int:
+        """Number of charged draw operations over the source's life."""
+        return self._draw_calls
+
+    @property
+    def max_samples(self) -> int | None:
+        """The per-trial hard cap (an integer), or ``None`` when unenforced."""
         return self._max_samples
 
     def reset_budget(self) -> None:
         """Zero the per-trial sample counter (e.g. between independent
         trials).  :attr:`lifetime_drawn` is unaffected."""
-        self._drawn = 0.0
+        self._drawn = 0
 
     def draw(self, m: int) -> np.ndarray:
         """``m`` i.i.d. samples as domain indices."""

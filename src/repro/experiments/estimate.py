@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments.runner import SourceWrapper, Tester, Workload, success_probability
+from repro.observability.trace import NULL_TRACER, Tracer
 from repro.robustness.resilience import TrialPolicy
 from repro.util.rng import RandomState, ensure_rng, spawn_rngs
 
@@ -47,6 +48,7 @@ def _succeeds(
     policy: TrialPolicy | None = None,
     wrap_source: SourceWrapper | None = None,
     workers: int | None = None,
+    trace: Tracer = NULL_TRACER,
 ) -> tuple[bool, float]:
     """Does the tester at this budget clear the bar on both sides?
 
@@ -54,18 +56,22 @@ def _succeeds(
     """
     rng_a, rng_b = spawn_rngs(rng, 2)
     tester = family(scale)
-    comp = success_probability(
-        complete, tester, True, trials, rng_a, policy=policy,
-        wrap_source=wrap_source, workers=workers,
-    )
-    if comp.rate < target_rate:
-        return False, comp.mean_samples
-    sound = success_probability(
-        far, tester, False, trials, rng_b, policy=policy,
-        wrap_source=wrap_source, workers=workers,
-    )
-    mean = 0.5 * (comp.mean_samples + sound.mean_samples)
-    return sound.rate >= target_rate, mean
+    with trace.span("evaluation", scale=scale) as span:
+        comp = success_probability(
+            complete, tester, True, trials, rng_a, policy=policy,
+            wrap_source=wrap_source, workers=workers, trace=trace,
+        )
+        if comp.rate < target_rate:
+            span.set(success=False)
+            return False, comp.mean_samples
+        sound = success_probability(
+            far, tester, False, trials, rng_b, policy=policy,
+            wrap_source=wrap_source, workers=workers, trace=trace,
+        )
+        mean = 0.5 * (comp.mean_samples + sound.mean_samples)
+        success = sound.rate >= target_rate
+        span.set(success=success)
+        return success, mean
 
 
 def empirical_sample_complexity(
@@ -82,6 +88,7 @@ def empirical_sample_complexity(
     policy: TrialPolicy | None = None,
     wrap_source: SourceWrapper | None = None,
     workers: int | None = None,
+    trace: Tracer = NULL_TRACER,
 ) -> ComplexityEstimate:
     """Bisect the budget scale for the smallest 2/3-successful budget.
 
@@ -105,7 +112,7 @@ def empirical_sample_complexity(
 
     ok_lo, samples_lo = _succeeds(
         family, scale_lo, complete, far, trials, target_rate, gen, policy,
-        wrap_source, workers,
+        wrap_source, workers, trace,
     )
     evaluations += 1
     if ok_lo:
@@ -114,7 +121,7 @@ def empirical_sample_complexity(
     hi = scale_hi
     ok_hi, samples_hi = _succeeds(
         family, hi, complete, far, trials, target_rate, gen, policy,
-        wrap_source, workers,
+        wrap_source, workers, trace,
     )
     evaluations += 1
     doublings = 0
@@ -122,7 +129,7 @@ def empirical_sample_complexity(
         hi *= 4.0
         ok_hi, samples_hi = _succeeds(
             family, hi, complete, far, trials, target_rate, gen, policy,
-            wrap_source, workers,
+            wrap_source, workers, trace,
         )
         evaluations += 1
         doublings += 1
@@ -137,7 +144,7 @@ def empirical_sample_complexity(
         mid = math.exp(0.5 * (math.log(lo) + math.log(hi)))
         ok, samples = _succeeds(
             family, mid, complete, far, trials, target_rate, gen, policy,
-            wrap_source, workers,
+            wrap_source, workers, trace,
         )
         evaluations += 1
         if ok:

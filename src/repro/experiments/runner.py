@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.sampling import SampleSource
+from repro.observability.metrics import get_metrics
+from repro.observability.trace import NULL_TRACER, RecordingTracer, Tracer
 from repro.parallel.engine import TrialOutcome, run_trials
 from repro.robustness.resilience import (
     Deadline,
@@ -37,8 +39,17 @@ from repro.util.stats import wilson_interval
 #: A workload is either a fixed distribution or a per-trial factory.
 Workload = Union[DiscreteDistribution, Callable[[np.random.Generator], DiscreteDistribution]]
 
-#: A tester is any callable judging a sample source.
+#: A tester is any callable judging a sample source.  A tester that sets
+#: ``supports_trace = True`` additionally accepts a ``trace=`` keyword and
+#: will be handed each trial's recording tracer when tracing is on.
 Tester = Callable[[SampleSource], bool]
+
+
+def _judge(tester: Tester, source: SampleSource, tracer: Tracer | None) -> bool:
+    """Invoke a tester, passing the tracer only when it advertises support."""
+    if tracer is not None and getattr(tester, "supports_trace", False):
+        return bool(tester(source, trace=tracer))
+    return bool(tester(source))
 
 #: Per-trial source decorator: wraps the trial's fresh source (e.g. in a
 #: :class:`~repro.robustness.faults.FaultInjectingSource`); the generator is
@@ -81,13 +92,19 @@ class PlainTrial:
 
     workload: Workload
     tester: Tester
+    collect_trace: bool = False
 
     def __call__(self, index: int, seed: np.random.SeedSequence) -> TrialOutcome:
         gen = np.random.default_rng(seed)
         dist = _materialise(self.workload, gen)
         source = SampleSource(dist, gen)
-        verdict = bool(self.tester(source))
-        return TrialOutcome(index=index, value=(verdict, source.samples_drawn))
+        tracer = RecordingTracer() if self.collect_trace else None
+        verdict = _judge(self.tester, source, tracer)
+        return TrialOutcome(
+            index=index,
+            value=(verdict, source.samples_drawn),
+            trace=tuple(tracer.export()) if tracer is not None else None,
+        )
 
 
 @dataclass(frozen=True)
@@ -106,6 +123,7 @@ class RobustTrial:
     tester: Tester
     policy: TrialPolicy
     wrap_source: SourceWrapper | None
+    collect_trace: bool = False
 
     def __call__(self, index: int, seed: np.random.SeedSequence) -> TrialOutcome:
         trial_stream = np.random.default_rng(seed)
@@ -115,6 +133,9 @@ class RobustTrial:
         )
         started = time.monotonic()
         last_attempt = [0]
+        # One tracer per *attempt*, so a retried attempt's partial events
+        # never contaminate the surviving attempt's trace.
+        last_tracer: list[RecordingTracer | None] = [None]
 
         def attempt(attempt_number: int) -> tuple[bool, float]:
             last_attempt[0] = attempt_number
@@ -127,7 +148,9 @@ class RobustTrial:
                 source = self.wrap_source(source, gen)
             if deadline is not None:
                 source = DeadlineSource(source, deadline)
-            verdict = self.tester(source)
+            tracer = RecordingTracer() if self.collect_trace else None
+            last_tracer[0] = tracer
+            verdict = _judge(self.tester, source, tracer)
             return bool(verdict), source.samples_drawn
 
         try:
@@ -143,7 +166,12 @@ class RobustTrial:
                     elapsed=time.monotonic() - started,
                 ),
             )
-        return TrialOutcome(index=index, value=(verdict, samples))
+        tracer = last_tracer[0]
+        return TrialOutcome(
+            index=index,
+            value=(verdict, samples),
+            trace=tuple(tracer.export()) if tracer is not None else None,
+        )
 
 
 def acceptance_probability(
@@ -153,6 +181,7 @@ def acceptance_probability(
     rng: RandomState = None,
     *,
     workers: int | None = None,
+    trace: Tracer = NULL_TRACER,
 ) -> AcceptanceEstimate:
     """Run ``trials`` independent tests and estimate the acceptance rate.
 
@@ -162,15 +191,20 @@ def acceptance_probability(
 
     ``workers`` fans the trials out over worker processes (see
     :func:`repro.parallel.engine.resolve_workers`); the estimate is
-    bit-identical to the serial one at any worker count.
+    bit-identical to the serial one at any worker count.  With an enabled
+    ``trace``, each trial records its own sub-trace in the worker and the
+    streams are absorbed here in trial order — so the assembled trace is
+    byte-identical across worker counts too.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
     seeds = spawn_seed_sequences(rng, trials)
-    outcomes = run_trials(PlainTrial(workload, tester), seeds, workers=workers)
+    procedure = PlainTrial(workload, tester, collect_trace=trace.enabled)
+    outcomes = run_trials(procedure, seeds, workers=workers)
     accepted = 0
     total_samples = 0.0
     for outcome in outcomes:  # trial order: float sums match serial exactly
+        trace.absorb(outcome.trace, trial=outcome.index)
         verdict, samples = outcome.value
         if verdict:
             accepted += 1
@@ -194,9 +228,12 @@ def rejection_probability(
     rng: RandomState = None,
     *,
     workers: int | None = None,
+    trace: Tracer = NULL_TRACER,
 ) -> AcceptanceEstimate:
     """Like :func:`acceptance_probability` but counting rejections."""
-    estimate = acceptance_probability(workload, tester, trials, rng, workers=workers)
+    estimate = acceptance_probability(
+        workload, tester, trials, rng, workers=workers, trace=trace
+    )
     low, high = wilson_interval(estimate.trials - estimate.accepted, estimate.trials)
     return AcceptanceEstimate(
         accepted=estimate.trials - estimate.accepted,
@@ -218,6 +255,7 @@ def success_probability(
     policy: TrialPolicy | None = None,
     wrap_source: SourceWrapper | None = None,
     workers: int | None = None,
+    trace: Tracer = NULL_TRACER,
 ) -> AcceptanceEstimate:
     """Acceptance or rejection rate, whichever counts as success.
 
@@ -227,11 +265,15 @@ def success_probability(
     """
     if policy is None and wrap_source is None:
         if should_accept:
-            return acceptance_probability(workload, tester, trials, rng, workers=workers)
-        return rejection_probability(workload, tester, trials, rng, workers=workers)
+            return acceptance_probability(
+                workload, tester, trials, rng, workers=workers, trace=trace
+            )
+        return rejection_probability(
+            workload, tester, trials, rng, workers=workers, trace=trace
+        )
     estimate = robust_acceptance_probability(
         workload, tester, trials, rng, policy=policy, wrap_source=wrap_source,
-        workers=workers,
+        workers=workers, trace=trace,
     )
     if should_accept:
         return estimate
@@ -281,6 +323,7 @@ def robust_acceptance_probability(
     policy: TrialPolicy | None = None,
     wrap_source: SourceWrapper | None = None,
     workers: int | None = None,
+    trace: Tracer = NULL_TRACER,
 ) -> RobustAcceptanceEstimate:
     """Like :func:`acceptance_probability`, with trial-level fault isolation.
 
@@ -308,7 +351,9 @@ def robust_acceptance_probability(
     if policy is None:
         policy = TrialPolicy()
     seeds = spawn_seed_sequences(rng, trials)
-    procedure = RobustTrial(workload, tester, policy, wrap_source)
+    procedure = RobustTrial(
+        workload, tester, policy, wrap_source, collect_trace=trace.enabled
+    )
     outcomes = run_trials(procedure, seeds, workers=workers, isolate_crashes=True)
 
     accepted = 0
@@ -317,7 +362,17 @@ def robust_acceptance_probability(
     for outcome in outcomes:  # trial order: aggregation matches serial exactly
         if outcome.failure is not None:
             failures.append(outcome.failure)
+            get_metrics().counter(
+                "runner.trial_failures", error=outcome.failure.error_type
+            ).inc()
+            trace.event(
+                "trial_failure",
+                trial=outcome.index,
+                error=outcome.failure.error_type,
+                attempts=outcome.failure.attempts,
+            )
             continue
+        trace.absorb(outcome.trace, trial=outcome.index)
         verdict, samples = outcome.value
         if verdict:
             accepted += 1

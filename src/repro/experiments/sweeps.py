@@ -21,6 +21,7 @@ from repro.core.tester import test_histogram
 from repro.distributions import families
 from repro.distributions.discrete import DiscreteDistribution
 from repro.experiments.estimate import ComplexityEstimate, empirical_sample_complexity
+from repro.observability.trace import NULL_TRACER, Tracer
 from repro.robustness.checkpoint import CheckpointStore, load_if_matching, resolve_store
 from repro.robustness.resilience import TrialPolicy
 from repro.util.rng import RandomState, ensure_rng, spawn_rngs
@@ -100,8 +101,15 @@ class HistogramTester:
     eps: float
     config: TesterConfig
 
-    def __call__(self, source) -> bool:
-        return test_histogram(source, self.k, self.eps, config=self.config).accept
+    #: Advertises the ``trace=`` keyword to the trial runner (see
+    #: :data:`repro.experiments.runner.Tester`); a class attribute, so the
+    #: dataclass stays picklable with unchanged fields.
+    supports_trace = True
+
+    def __call__(self, source, trace: Tracer = NULL_TRACER) -> bool:
+        return test_histogram(
+            source, self.k, self.eps, config=self.config, trace=trace
+        ).accept
 
 
 @dataclass(frozen=True)
@@ -210,6 +218,7 @@ def complexity_sweep(
     policy: TrialPolicy | None = None,
     workers: int | None = None,
     label_ground_truth: bool = False,
+    trace: Tracer = NULL_TRACER,
 ) -> SweepResult:
     """Sweep one axis (``"n"``, ``"k"`` or ``"eps"``) of the tester's
     empirical sample complexity; other parameters stay fixed.
@@ -243,6 +252,11 @@ def complexity_sweep(
     stream, never enter checkpoints, and leave the parameter fingerprint
     and per-point trial streams untouched, so labelled and unlabelled runs
     of the same sweep are byte-identical point for point.
+
+    ``trace`` (default: no-op) records one span per sweep point, per
+    bisection evaluation, and per trial; trial sub-traces are assembled in
+    trial order, so the stream is byte-identical across worker counts
+    (after stripping wall-clock fields).  Resumed points are not re-traced.
     """
     if axis not in ("n", "k", "eps"):
         raise ValueError(f"axis must be one of n/k/eps, got {axis!r}")
@@ -299,16 +313,20 @@ def complexity_sweep(
             cur_eps = float(value)
         complete, far = make_workloads(cur_n, cur_k, cur_eps)
         family = HistogramTesterFamily(cur_k, cur_eps, config)
-        estimate = empirical_sample_complexity(
-            family,
-            complete=complete,
-            far=far,
-            trials=trials,
-            bisection_steps=bisection_steps,
-            rng=stream,
-            policy=policy,
-            workers=workers,
-        )
+        with trace.span(
+            "point", axis=axis, value=float(value), n=cur_n, k=cur_k, eps=cur_eps
+        ):
+            estimate = empirical_sample_complexity(
+                family,
+                complete=complete,
+                far=far,
+                trials=trials,
+                bisection_steps=bisection_steps,
+                rng=stream,
+                policy=policy,
+                workers=workers,
+                trace=trace,
+            )
         points.append(SweepPoint(n=cur_n, k=cur_k, eps=cur_eps, estimate=estimate))
         if store is not None:
             store.save(

@@ -195,11 +195,15 @@ def ground_truth_bounds(
     pmf = np.ascontiguousarray(
         dist.pmf if isinstance(dist, DiscreteDistribution) else np.asarray(dist, float)
     )
+    from repro.observability.metrics import get_metrics
+
     key = (pmf.tobytes(), int(k))
     cached = _GROUND_TRUTH_CACHE.get(key)
     if cached is not None:
         _GROUND_TRUTH_CACHE.move_to_end(key)
+        get_metrics().counter("workloads.ground_truth_cache", result="hit").inc()
         return cached
+    get_metrics().counter("workloads.ground_truth_cache", result="miss").inc()
     bounds = histogram_distance_bounds(pmf, int(k))
     _GROUND_TRUTH_CACHE[key] = bounds
     if len(_GROUND_TRUTH_CACHE) > _GROUND_TRUTH_CACHE_SIZE:

@@ -1,0 +1,60 @@
+"""Structured observability: tracing, metrics, and sample-ledger audit.
+
+The tester's headline claim is its *sample complexity*, so the library's
+observability layer is built around making every sample draw traceable and
+reconcilable against the Theorem 3.1 budget:
+
+* :mod:`repro.observability.trace` — a hierarchical span tracer emitting a
+  deterministic JSONL event stream (wall-clock durations are carried but
+  kept out of every fingerprint/byte comparison);
+* :mod:`repro.observability.metrics` — a process-wide registry of counters,
+  gauges and distributions (samples per stage, sieve removals, rejection
+  reasons, retry/fault counts, cache hits);
+* :mod:`repro.observability.ledger` — integer-exact per-stage sample
+  accounting that fails loudly on leaks or double-counting.
+
+The default tracer is a no-op (:data:`NULL_TRACER`): un-traced runs pay one
+attribute lookup and a constant-time context-manager enter/exit per stage,
+keeping the hot path within noise of the un-instrumented pipeline.
+"""
+
+from repro.observability.ledger import LedgerError, SampleLedger
+from repro.observability.metrics import (
+    Counter,
+    Distribution,
+    Gauge,
+    MetricsRegistry,
+    get_metrics,
+)
+from repro.observability.trace import (
+    NULL_TRACER,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+    canonical_jsonl,
+    read_jsonl,
+    strip_wall_clock,
+    validate_event,
+    validate_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Distribution",
+    "Gauge",
+    "LedgerError",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "SampleLedger",
+    "TraceEvent",
+    "Tracer",
+    "canonical_jsonl",
+    "get_metrics",
+    "read_jsonl",
+    "strip_wall_clock",
+    "validate_event",
+    "validate_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,105 @@
+"""Integer-exact reconciliation of per-stage sample draws.
+
+The sample ledger is the audit trail behind the paper's headline claim:
+every stage of Algorithm 1 records the *integer* number of samples it drew,
+and the ledger proves three invariants before a verdict is returned:
+
+1. **No double-counting** — a stage may be recorded at most once
+   (:meth:`SampleLedger.record` raises :class:`LedgerError` on a repeat);
+2. **No leaks** — the per-stage totals must sum *exactly* (integer
+   equality, no ``approx``) to the source's total draw count
+   (:meth:`SampleLedger.reconcile`);
+3. **Budget respected** — the total must not exceed the (ceiled, integer)
+   ``algorithm1_budget``-derived cap when one is set.
+
+A failed invariant is a bug in the accounting code, never a property of
+the input distribution, so the ledger fails loudly instead of clamping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+
+class LedgerError(RuntimeError):
+    """A sample-accounting invariant was violated (leak, double count, or
+    budget overrun) — always an implementation bug, never expected."""
+
+
+class SampleLedger:
+    """Append-only per-stage integer sample accounting."""
+
+    def __init__(self, *, budget_cap: "int | None" = None) -> None:
+        if budget_cap is not None:
+            if budget_cap != int(budget_cap):
+                raise LedgerError(f"budget cap must be an integer, got {budget_cap!r}")
+            budget_cap = int(budget_cap)
+        self._stages: "dict[str, int]" = {}
+        self.budget_cap = budget_cap
+
+    def record(self, stage: str, samples: int) -> None:
+        """Record the draws of one stage; repeats are double-counting."""
+        if stage in self._stages:
+            raise LedgerError(
+                f"stage {stage!r} already recorded ({self._stages[stage]} samples) "
+                f"— double-counting"
+            )
+        if isinstance(samples, bool) or samples != int(samples):
+            raise LedgerError(
+                f"stage {stage!r} drew a non-integer sample count: {samples!r}"
+            )
+        if samples < 0:
+            raise LedgerError(f"stage {stage!r} drew a negative count: {samples}")
+        self._stages[stage] = int(samples)
+
+    @property
+    def total(self) -> int:
+        return sum(self._stages.values())
+
+    @property
+    def stages(self) -> "Mapping[str, int]":
+        """Per-stage totals in record order (read-only copy)."""
+        return dict(self._stages)
+
+    def __contains__(self, stage: str) -> bool:
+        return stage in self._stages
+
+    def __iter__(self) -> "Iterator[str]":
+        return iter(self._stages)
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def reconcile(self, samples_used: int) -> int:
+        """Check the ledger against the source's observed total.
+
+        Returns the reconciled total; raises :class:`LedgerError` if the
+        stage sum differs from ``samples_used`` by even one sample (a leak
+        if the ledger is short, double-counting if it is long) or exceeds
+        the budget cap.
+        """
+        if isinstance(samples_used, bool) or samples_used != int(samples_used):
+            raise LedgerError(f"samples_used must be an integer, got {samples_used!r}")
+        samples_used = int(samples_used)
+        total = self.total
+        if total != samples_used:
+            kind = "leak (draws missing from ledger)" if total < samples_used else (
+                "double-counting (ledger exceeds draws)"
+            )
+            raise LedgerError(
+                f"ledger does not reconcile: stages sum to {total}, source drew "
+                f"{samples_used} — {kind}; stages={self.stages}"
+            )
+        if self.budget_cap is not None and total > self.budget_cap:
+            raise LedgerError(
+                f"total draws {total} exceed budget cap {self.budget_cap}"
+            )
+        return total
+
+    def as_attrs(self) -> dict:
+        """The ledger as deterministic trace-event attributes."""
+        return {
+            "stages": self.stages,
+            "total": self.total,
+            "budget_cap": self.budget_cap,
+        }

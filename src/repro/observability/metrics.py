@@ -1,0 +1,175 @@
+"""A lightweight process-wide metrics registry.
+
+Three instrument kinds, mirroring the usual statsd/Prometheus split:
+
+* :class:`Counter` — monotone integer totals (samples drawn per stage,
+  sieve removals, rejection reasons, retries, cache hits/misses);
+* :class:`Gauge` — last-written values (current budget cap, worker count);
+* :class:`Distribution` — streaming summaries (count/sum/min/max/mean) of
+  observed values (intervals removed per sieve round, attempts per trial).
+
+Instruments are addressed by ``name`` plus an optional frozen label tuple,
+so ``counter("sieve.removed", phase="A")`` and ``phase="B"`` are distinct
+series.  The registry is deliberately *not* part of any determinism or
+fingerprint contract: it is diagnostic state, reset per run via
+:meth:`MetricsRegistry.reset` (or per test via :func:`get_metrics`'s
+returned handle).  Library code records through the module-level registry
+(:func:`get_metrics`) so instrumentation never needs plumbing through
+function signatures the way the tracer does.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, Mapping, Tuple
+
+_LabelKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+
+def _series_key(name: str, labels: Mapping[str, Any]) -> _LabelKey:
+    if not name:
+        raise ValueError("metric name must be non-empty")
+    return (name, tuple(sorted(labels.items())))
+
+
+class Counter:
+    """A monotone integer counter."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Mapping[str, Any]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += int(amount)
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Mapping[str, Any]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._value: "float | int | None" = None
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> "float | int | None":
+        return self._value
+
+    def set(self, value: "float | int") -> None:
+        with self._lock:
+            self._value = value
+
+
+class Distribution:
+    """A streaming summary of observed values (no per-sample storage)."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, labels: Mapping[str, Any]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.count = 0
+        self.total = 0.0
+        self.min: "float | None" = None
+        self.max: "float | None" = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: "float | int") -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> "float | None":
+        return self.total / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """A named collection of instruments, created on first touch.
+
+    Re-requesting a series returns the same instrument; requesting a name
+    that exists under a different instrument kind is an error (it would
+    silently split the series).
+    """
+
+    def __init__(self) -> None:
+        self._series: "dict[_LabelKey, Counter | Gauge | Distribution]" = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls: type, name: str, labels: Mapping[str, Any]) -> Any:
+        key = _series_key(name, labels)
+        with self._lock:
+            found = self._series.get(key)
+            if found is None:
+                found = self._series[key] = cls(name, labels)
+            elif type(found) is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(found).__name__}, requested {cls.__name__}"
+                )
+            return found
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def distribution(self, name: str, **labels: Any) -> Distribution:
+        return self._get(Distribution, name, labels)
+
+    def __iter__(self) -> "Iterator[Counter | Gauge | Distribution]":
+        with self._lock:
+            return iter(list(self._series.values()))
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def reset(self) -> None:
+        """Drop every series (per-run / per-test isolation)."""
+        with self._lock:
+            self._series.clear()
+
+    def snapshot(self) -> "dict[str, Any]":
+        """A JSON-able dump of every series, sorted for stable output."""
+        out: "dict[str, Any]" = {}
+        for inst in sorted(self, key=lambda i: (i.name, sorted(i.labels.items()))):
+            label_part = ",".join(f"{k}={v}" for k, v in sorted(inst.labels.items()))
+            key = f"{inst.name}{{{label_part}}}" if label_part else inst.name
+            if isinstance(inst, Counter):
+                out[key] = inst.value
+            elif isinstance(inst, Gauge):
+                out[key] = inst.value
+            else:
+                out[key] = {
+                    "count": inst.count,
+                    "sum": inst.total,
+                    "min": inst.min,
+                    "max": inst.max,
+                    "mean": inst.mean,
+                }
+        return out
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry library code records into."""
+    return _GLOBAL

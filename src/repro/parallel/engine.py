@@ -66,11 +66,18 @@ class ParallelExecutionError(RuntimeError):
 
 @dataclass(frozen=True)
 class TrialOutcome:
-    """Result of one trial: a payload on success, a failure record otherwise."""
+    """Result of one trial: a payload on success, a failure record otherwise.
+
+    ``trace``, when a procedure collects one, is the trial's exported event
+    stream (plain dicts — picklable across the process boundary).  The
+    caller absorbs these **in trial order**, so an assembled trace is
+    byte-identical between the serial and process backends.
+    """
 
     index: int
     value: Any = None
     failure: TrialFailure | None = None
+    trace: tuple | None = None
 
     @property
     def ok(self) -> bool:

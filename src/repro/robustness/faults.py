@@ -48,7 +48,8 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.distributions.discrete import DiscreteDistribution
-from repro.distributions.sampling import SampleSource
+from repro.distributions.sampling import SampleSource, charge_units
+from repro.observability.metrics import get_metrics
 from repro.util.rng import RandomState, child_rng, ensure_rng
 
 
@@ -171,15 +172,19 @@ class FaultInjectingSource(SampleSource):
         return self._base.n
 
     @property
-    def samples_drawn(self) -> float:
+    def samples_drawn(self) -> int:
         return self._base.samples_drawn
 
     @property
-    def lifetime_drawn(self) -> float:
+    def lifetime_drawn(self) -> int:
         return self._base.lifetime_drawn
 
     @property
-    def max_samples(self) -> float | None:
+    def draw_calls(self) -> int:
+        return self._base.draw_calls
+
+    @property
+    def max_samples(self) -> int | None:
         return self._base.max_samples
 
     def reset_budget(self) -> None:
@@ -199,6 +204,7 @@ class FaultInjectingSource(SampleSource):
     def _tick(self) -> None:
         self._calls += 1
         if self._calls in self._faults.fail_at_draws:
+            get_metrics().counter("faults.injected_failures").inc()
             raise InjectedStreamFailure(self._calls)
 
     def _corrupt_sequential(self, clean: np.ndarray) -> np.ndarray:
@@ -235,6 +241,7 @@ class FaultInjectingSource(SampleSource):
 
     def _check_corruption(self, corrupted: int, requested: float) -> None:
         if corrupted > 0:
+            get_metrics().counter("faults.corrupt_batches").inc()
             raise CorruptSampleError(corrupted, requested)
 
     # -- draw paths ---------------------------------------------------------
@@ -286,9 +293,13 @@ class FaultInjectingSource(SampleSource):
             self._check_corruption(corrupted, m)
         # Exact Huber mixture by Poisson thinning:
         # Poisson(m·mix) = Poisson((1−r)·m·D) + Poisson(r·m·Q).
+        # Charge the contaminant share as the *remainder* against ceil(m),
+        # so the wrapped batch bills exactly what a clean batch would —
+        # ceiling both halves independently could over-charge by one.
         rate = cfg.contamination_rate
-        counts = self._base.draw_counts_poissonized((1.0 - rate) * m)
-        self._base._record(rate * m)
+        clean = (1.0 - rate) * m
+        counts = self._base.draw_counts_poissonized(clean)
+        self._base._record(charge_units(m) - charge_units(clean))
         if rate > 0.0:
             counts = counts + self._contaminant.sample_counts_poissonized(
                 rate * m, self._fault_rng

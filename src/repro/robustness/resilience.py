@@ -16,6 +16,7 @@ from typing import Callable, TypeVar
 import numpy as np
 
 from repro.distributions.sampling import SampleBudgetExceeded, SampleSource
+from repro.observability.metrics import get_metrics
 from repro.robustness.faults import CorruptSampleError, InjectedStreamFailure
 
 T = TypeVar("T")
@@ -102,6 +103,7 @@ def run_with_retry(
         except policy.retry_on:
             if attempt == policy.max_attempts:
                 raise
+            get_metrics().counter("robustness.retries").inc()
             pause = policy.delay(attempt)
             if pause > 0:
                 sleep(pause)
@@ -149,15 +151,19 @@ class DeadlineSource(SampleSource):
         return self._base.n
 
     @property
-    def samples_drawn(self) -> float:
+    def samples_drawn(self) -> int:
         return self._base.samples_drawn
 
     @property
-    def lifetime_drawn(self) -> float:
+    def lifetime_drawn(self) -> int:
         return self._base.lifetime_drawn
 
     @property
-    def max_samples(self) -> float | None:
+    def draw_calls(self) -> int:
+        return self._base.draw_calls
+
+    @property
+    def max_samples(self) -> int | None:
         return self._base.max_samples
 
     def reset_budget(self) -> None:

@@ -119,9 +119,9 @@ class TestCappedSource:
             DiscreteDistribution.uniform(1000), 1000, 4, 0.3,
             config=cfg, slack=1.5, rng=0,
         )
-        assert src.max_samples == pytest.approx(
-            1.5 * algorithm1_budget(1000, 4, 0.3, cfg)
-        )
+        # Integer-exact: the cap is ceiled exactly once at construction.
+        assert src.max_samples == math.ceil(1.5 * algorithm1_budget(1000, 4, 0.3, cfg))
+        assert isinstance(src.max_samples, int)
         src.draw(100)  # well under the cap
 
     def test_runaway_draw_raises(self):

@@ -1,0 +1,76 @@
+"""Trace determinism: serial and parallel runs emit identical event streams.
+
+Companion to ``test_determinism.py`` for the observability layer: per-trial
+sub-traces are recorded in the workers, exported as plain dicts, and
+absorbed by the parent *in trial order*, so the assembled JSONL is
+byte-identical at any worker count once wall-clock fields are stripped.
+"""
+
+import pytest
+
+from repro.core.config import TesterConfig
+from repro.experiments.runner import (
+    acceptance_probability,
+    robust_acceptance_probability,
+)
+from repro.experiments.sweeps import HistogramTester, StaircaseWorkload
+from repro.observability.trace import (
+    RecordingTracer,
+    canonical_jsonl,
+    validate_event,
+    write_jsonl,
+)
+
+CONFIG = TesterConfig.practical()
+WORKER_COUNTS = (None, 2, 4)
+WORKLOAD = StaircaseWorkload(600, 3)
+TESTER = HistogramTester(3, 0.35, CONFIG)
+
+
+def _traced(fn, workers):
+    tracer = RecordingTracer()
+    estimate = fn(
+        WORKLOAD, TESTER, trials=6, rng=11, workers=workers, trace=tracer
+    )
+    return estimate, canonical_jsonl(tracer.export()), tracer
+
+
+class TestTraceByteIdentical:
+    @pytest.mark.parametrize("fn", [acceptance_probability, robust_acceptance_probability])
+    def test_across_worker_counts(self, fn):
+        payloads = {w: _traced(fn, w)[1] for w in WORKER_COUNTS}
+        assert len(set(payloads.values())) == 1, {
+            w: p[:200] for w, p in payloads.items()
+        }
+
+    def test_trace_is_nonempty_and_trial_ordered(self):
+        _, _, tracer = _traced(acceptance_probability, 2)
+        events = tracer.export()
+        assert events
+        for event in events:
+            validate_event(event)
+        trials = [e["attrs"]["trial"] for e in events if "trial" in e["attrs"]]
+        assert trials == sorted(trials)  # absorbed in trial order
+        assert set(trials) == set(range(6))
+
+    def test_per_trial_ledgers_present(self):
+        _, _, tracer = _traced(acceptance_probability, 2)
+        ledgers = [e for e in tracer.events if e.name.endswith("/ledger")]
+        assert len(ledgers) == 6  # one reconciliation per trial
+
+    def test_written_files_identical(self, tmp_path):
+        paths = []
+        for workers in WORKER_COUNTS:
+            _, _, tracer = _traced(acceptance_probability, workers)
+            path = tmp_path / f"w{workers}.jsonl"
+            write_jsonl(path, [e for e in map(dict, (
+                {k: v for k, v in raw.items() if k != "duration_s"}
+                for raw in tracer.export()
+            ))])
+            paths.append(path.read_bytes())
+        assert len(set(paths)) == 1
+
+    def test_untraced_estimate_unchanged_by_tracing(self):
+        traced, _, _ = _traced(acceptance_probability, None)
+        plain = acceptance_probability(WORKLOAD, TESTER, trials=6, rng=11)
+        assert plain == traced

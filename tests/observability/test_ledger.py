@@ -1,0 +1,102 @@
+"""Unit tests for the integer-exact sample ledger."""
+
+import pytest
+
+from repro.observability.ledger import LedgerError, SampleLedger
+
+
+class TestRecord:
+    def test_record_and_total(self):
+        led = SampleLedger()
+        led.record("partition", 10)
+        led.record("learn", 32)
+        assert led.total == 42
+        assert led.stages == {"partition": 10, "learn": 32}
+        assert "partition" in led and len(led) == 2
+        assert list(led) == ["partition", "learn"]  # record order
+
+    def test_double_counting_raises(self):
+        led = SampleLedger()
+        led.record("learn", 5)
+        with pytest.raises(LedgerError, match="double-counting"):
+            led.record("learn", 5)
+
+    @pytest.mark.parametrize("bad", [2.5, True, -1])
+    def test_non_integer_counts_rejected(self, bad):
+        with pytest.raises(LedgerError):
+            SampleLedger().record("s", bad)
+
+    def test_integer_valued_float_accepted(self):
+        led = SampleLedger()
+        led.record("s", 7.0)  # integer-valued is fine, stored as int
+        assert led.stages["s"] == 7
+        assert isinstance(led.stages["s"], int)
+
+
+class TestReconcile:
+    def test_exact_match(self):
+        led = SampleLedger()
+        led.record("a", 3)
+        led.record("b", 4)
+        assert led.reconcile(7) == 7
+
+    def test_leak_detected(self):
+        led = SampleLedger()
+        led.record("a", 3)
+        with pytest.raises(LedgerError, match="leak"):
+            led.reconcile(4)  # source drew one more than the ledger saw
+
+    def test_overcount_detected(self):
+        led = SampleLedger()
+        led.record("a", 5)
+        with pytest.raises(LedgerError, match="double-counting"):
+            led.reconcile(4)
+
+    def test_off_by_one_is_an_error(self):
+        # Integer equality, no tolerance: the regression the float-era
+        # accounting allowed (fractional Poisson charges drifting the sum).
+        led = SampleLedger()
+        led.record("a", 1_000_000)
+        with pytest.raises(LedgerError):
+            led.reconcile(1_000_001)
+
+    def test_non_integer_samples_used_rejected(self):
+        led = SampleLedger()
+        led.record("a", 3)
+        with pytest.raises(LedgerError, match="integer"):
+            led.reconcile(3.5)
+
+    def test_empty_ledger_reconciles_zero(self):
+        assert SampleLedger().reconcile(0) == 0
+
+
+class TestBudgetCap:
+    def test_cap_respected(self):
+        led = SampleLedger(budget_cap=10)
+        led.record("a", 10)
+        assert led.reconcile(10) == 10
+
+    def test_cap_overrun_raises(self):
+        led = SampleLedger(budget_cap=10)
+        led.record("a", 11)
+        with pytest.raises(LedgerError, match="budget cap"):
+            led.reconcile(11)
+
+    def test_cap_must_be_integer(self):
+        with pytest.raises(LedgerError):
+            SampleLedger(budget_cap=10.5)
+
+    def test_cap_stored_as_int(self):
+        assert SampleLedger(budget_cap=10.0).budget_cap == 10
+        assert isinstance(SampleLedger(budget_cap=10.0).budget_cap, int)
+
+
+class TestAsAttrs:
+    def test_trace_attrs_shape(self):
+        led = SampleLedger(budget_cap=100)
+        led.record("a", 9)
+        assert led.as_attrs() == {
+            "stages": {"a": 9},
+            "total": 9,
+            "budget_cap": 100,
+        }

@@ -1,0 +1,102 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Distribution,
+    Gauge,
+    MetricsRegistry,
+    get_metrics,
+)
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter("c", {})
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c", {}).inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g", {})
+        assert g.value is None
+        g.set(3)
+        g.set(7.5)
+        assert g.value == 7.5
+
+
+class TestDistribution:
+    def test_streaming_summary(self):
+        d = Distribution("d", {})
+        assert d.mean is None
+        for v in (1, 5, 3):
+            d.observe(v)
+        assert (d.count, d.total, d.min, d.max) == (3, 9.0, 1, 5)
+        assert d.mean == pytest.approx(3.0)
+
+
+class TestRegistry:
+    def test_same_series_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", phase="A") is reg.counter("a", phase="A")
+
+    def test_labels_split_series(self):
+        reg = MetricsRegistry()
+        reg.counter("a", phase="A").inc()
+        reg.counter("a", phase="B").inc(2)
+        assert reg.counter("a", phase="A").value == 1
+        assert reg.counter("a", phase="B").value == 2
+        assert len(reg) == 2
+
+    def test_label_order_does_not_split_series(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", x=1, y=2) is reg.counter("a", y=2, x=1)
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.counter("a").value == 0  # fresh series after reset
+
+    def test_snapshot_stable_keys(self):
+        reg = MetricsRegistry()
+        reg.counter("sieve.removed", phase="A").inc(3)
+        reg.gauge("cap").set(10)
+        reg.distribution("rounds").observe(2)
+        snap = reg.snapshot()
+        assert snap["sieve.removed{phase=A}"] == 3
+        assert snap["cap"] == 10
+        assert snap["rounds"]["count"] == 1
+
+
+class TestGlobalRegistry:
+    def test_get_metrics_is_process_wide(self):
+        assert get_metrics() is get_metrics()
+
+    def test_library_counters_flow_through_global(self):
+        get_metrics().reset()
+        from repro.core.tester import test_histogram
+        from repro.distributions import families
+
+        test_histogram(families.uniform(10), 10, 0.5, rng=0)  # trivial accept
+        counter = get_metrics().counter("tester.verdicts", stage="trivial", accept=True)
+        assert counter.value == 1
+        get_metrics().reset()

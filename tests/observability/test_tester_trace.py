@@ -1,0 +1,143 @@
+"""Integration tests: Algorithm 1 × tracer × ledger.
+
+The exit-path matrix below pins one deterministic (workload, config, seed)
+per verdict stage — trivial, plugin, sieve-reject, check-reject, chi2
+reject and chi2 accept — and asserts the PR's accounting contract on each:
+every executed stage is recorded, the integer stage sums reconcile exactly,
+and the trace tells the same story as the verdict.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import algorithm1_budget
+from repro.core.config import TesterConfig
+from repro.core.tester import STAGE_ORDER, test_histogram
+from repro.distributions import families
+from repro.observability.trace import RecordingTracer
+
+CFG = TesterConfig.practical()
+NO_SIEVE = TesterConfig.practical(sieve_enabled=False)
+
+
+def _far(n, k, eps, seed):
+    return families.far_from_hk(n, k, eps, np.random.default_rng(seed))
+
+
+#: name -> (dist factory, k, eps, config, seed, expected stage, expected
+#: accept, stages that must appear in the audit dicts).
+EXIT_PATHS = {
+    "trivial-accept": (
+        lambda: families.uniform(10), 10, 0.5, CFG, 0, "trivial", True, set()),
+    "plugin-accept": (
+        lambda: families.uniform(64), 20, 0.2, CFG, 0, "plugin", True, {"plugin"}),
+    "sieve-reject": (
+        lambda: _far(2000, 4, 0.4, 0), 4, 0.4, CFG, 0, "sieve", False,
+        {"partition", "learn", "sieve"}),
+    "check-reject": (
+        lambda: families.zipf(2000, alpha=1.0), 4, 0.3, CFG, 0, "check", False,
+        {"partition", "learn", "sieve", "check"}),
+    "chi2-reject": (
+        lambda: _far(1000, 2, 0.4, 0), 2, 0.4, NO_SIEVE, 0, "chi2", False,
+        {"partition", "learn", "sieve", "check", "chi2"}),
+    "chi2-accept": (
+        lambda: families.staircase(2000, 4).to_distribution(), 4, 0.4, CFG, 0,
+        "chi2", True, {"partition", "learn", "sieve", "check", "chi2"}),
+}
+
+
+def _run(case, trace=None):
+    factory, k, eps, config, seed, *_ = EXIT_PATHS[case]
+    kwargs = {} if trace is None else {"trace": trace}
+    return test_histogram(factory(), k, eps, config=config, rng=seed, **kwargs)
+
+
+@pytest.mark.parametrize("case", sorted(EXIT_PATHS))
+class TestEveryExitPath:
+    def test_expected_stage_and_verdict(self, case):
+        *_, stage, accept, _stages = EXIT_PATHS[case]
+        v = _run(case)
+        assert (v.stage, v.accept) == (stage, accept)
+
+    def test_all_executed_stages_recorded(self, case):
+        """The bug this PR fixes: early returns used to drop stage entries."""
+        *_, expected_stages = EXIT_PATHS[case]
+        v = _run(case)
+        assert set(v.stage_samples) == expected_stages
+        assert set(v.stage_timings) == expected_stages
+        # Recorded stages follow the canonical pipeline order.
+        order = [s for s in v.stage_samples]
+        assert order == [s for s in STAGE_ORDER if s in expected_stages]
+
+    def test_integer_exact_reconciliation(self, case):
+        """Satellite regression: samples_used == Σ stage_samples, exactly."""
+        v = _run(case)
+        assert isinstance(v.samples_used, int)
+        assert all(
+            isinstance(s, int) and not isinstance(s, bool)
+            for s in v.stage_samples.values()
+        )
+        assert sum(v.stage_samples.values()) == v.samples_used
+
+    def test_trace_spans_mirror_stage_samples(self, case):
+        tracer = RecordingTracer()
+        v = _run(case, trace=tracer)
+        by_name = {}
+        for e in tracer.events:
+            by_name.setdefault(e.name, []).append(e)
+        for stage, samples in v.stage_samples.items():
+            (span,) = by_name[f"test/{stage}"]
+            assert span.kind == "span"
+            assert span.attrs["samples"] == samples
+
+    def test_ledger_event_reconciles(self, case):
+        tracer = RecordingTracer()
+        v = _run(case, trace=tracer)
+        (ledger,) = [e for e in tracer.events if e.name.endswith("/ledger")]
+        assert ledger.attrs["total"] == v.samples_used
+        assert ledger.attrs["stages"] == dict(v.stage_samples)
+
+    def test_tracing_never_changes_the_verdict(self, case):
+        plain = _run(case)
+        traced = _run(case, trace=RecordingTracer())
+        assert (plain.accept, plain.stage, plain.samples_used) == (
+            traced.accept, traced.stage, traced.samples_used)
+        assert plain.stage_samples == traced.stage_samples
+
+
+class TestFullPipelineTrace:
+    def _trace(self):
+        tracer = RecordingTracer()
+        v = _run("chi2-accept", trace=tracer)
+        return v, tracer
+
+    def test_root_span_carries_verdict(self):
+        v, tracer = self._trace()
+        root = tracer.events[-1]
+        assert root.name == "test" and root.depth == 0
+        assert root.attrs["accept"] is True
+        assert root.attrs["samples_used"] == v.samples_used
+
+    def test_sieve_rounds_traced(self):
+        _, tracer = self._trace()
+        rounds = [e for e in tracer.events if e.name == "test/sieve/round"]
+        assert rounds  # per-round Phase B spans
+        assert all("samples" in e.attrs and "removed" in e.attrs for e in rounds)
+        phase_a = [e for e in tracer.events if e.name == "test/sieve/phase_a"]
+        assert len(phase_a) == 1
+
+    def test_ledger_cap_is_the_algorithm1_budget(self):
+        v, tracer = self._trace()
+        (ledger,) = [e for e in tracer.events if e.name == "test/ledger"]
+        assert ledger.attrs["budget_cap"] == int(
+            algorithm1_budget(2000, 4, 0.4, CFG)
+        )
+        assert v.samples_used <= ledger.attrs["budget_cap"]
+
+    def test_event_stream_is_deterministic(self):
+        from repro.observability.trace import canonical_jsonl
+
+        t1, t2 = RecordingTracer(), RecordingTracer()
+        _run("chi2-accept", trace=t1)
+        _run("chi2-accept", trace=t2)
+        assert canonical_jsonl(t1.export()) == canonical_jsonl(t2.export())

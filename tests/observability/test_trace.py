@@ -1,0 +1,241 @@
+"""Unit tests for the span tracer and its JSONL serialisation layer."""
+
+import json
+
+import pytest
+
+from repro.observability.trace import (
+    EVENT_KEYS,
+    NULL_TRACER,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+    canonical_jsonl,
+    read_jsonl,
+    strip_wall_clock,
+    validate_event,
+    validate_trace,
+    write_jsonl,
+)
+
+
+class FakeClock:
+    """Deterministic monotone clock: every call advances by `step`."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestNullTracer:
+    def test_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_span_is_shared_and_noop(self):
+        a = NULL_TRACER.span("x", foo=1)
+        b = NULL_TRACER.span("y")
+        assert a is b  # one shared stateless span, no allocation per call
+        with a as span:
+            span.set(whatever=1)
+
+    def test_event_and_absorb_are_noops(self):
+        NULL_TRACER.event("e", x=1)
+        NULL_TRACER.absorb([{"bogus": True}])  # not even validated: dropped
+
+    def test_base_class_is_the_null_tracer(self):
+        assert isinstance(NULL_TRACER, Tracer)
+        assert type(NULL_TRACER) is Tracer
+
+
+class TestRecordingTracer:
+    def test_nesting_produces_slash_paths_and_depths(self):
+        t = RecordingTracer(clock=FakeClock())
+        with t.span("test"):
+            with t.span("sieve"):
+                with t.span("round", round=0):
+                    pass
+                t.event("note", x=1)
+        names = [e.name for e in t.events]
+        depths = [e.depth for e in t.events]
+        # Events append at close, innermost first.
+        assert names == ["test/sieve/round", "test/sieve/note", "test/sieve", "test"]
+        assert depths == [2, 2, 1, 0]
+
+    def test_seq_strictly_increasing(self):
+        t = RecordingTracer(clock=FakeClock())
+        with t.span("a"):
+            t.event("e1")
+            t.event("e2")
+        seqs = [e.seq for e in t.events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_set_attaches_attrs_before_close(self):
+        t = RecordingTracer(clock=FakeClock())
+        with t.span("s", fixed=1) as span:
+            span.set(result=42)
+        assert t.events[0].attrs == {"fixed": 1, "result": 42}
+
+    def test_durations_from_injected_clock(self):
+        t = RecordingTracer(clock=FakeClock(step=0.5))
+        with t.span("s"):
+            pass
+        assert t.events[0].duration_s == pytest.approx(0.5)
+
+    def test_point_events_have_no_duration(self):
+        t = RecordingTracer(clock=FakeClock())
+        t.event("e")
+        assert t.events[0].duration_s is None
+
+    def test_bad_names_rejected(self):
+        t = RecordingTracer()
+        with pytest.raises(ValueError):
+            t.span("a/b")
+        with pytest.raises(ValueError):
+            t.event("")
+
+    def test_span_closes_on_exception(self):
+        t = RecordingTracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with t.span("s"):
+                raise RuntimeError("boom")
+        assert [e.name for e in t.events] == ["s"]
+
+
+class TestAbsorb:
+    def _sub_trace(self) -> list:
+        sub = RecordingTracer(clock=FakeClock())
+        with sub.span("test"):
+            sub.event("ledger", total=3)
+        return sub.export()
+
+    def test_reroots_resequences_and_merges_attrs(self):
+        parent = RecordingTracer(clock=FakeClock())
+        with parent.span("bench"):
+            parent.absorb(self._sub_trace(), trial=7)
+        names = [e.name for e in parent.events]
+        assert names == ["bench/test/ledger", "bench/test", "bench"]
+        assert all(e.attrs.get("trial") == 7 for e in parent.events[:2])
+        seqs = [e.seq for e in parent.events]
+        assert seqs == sorted(seqs)
+
+    def test_absorb_none_or_empty_is_noop(self):
+        parent = RecordingTracer()
+        parent.absorb(None)
+        parent.absorb([])
+        assert parent.events == []
+
+    def test_absorb_validates(self):
+        parent = RecordingTracer()
+        with pytest.raises(ValueError):
+            parent.absorb([{"kind": "span"}])  # missing keys
+
+    def test_trial_order_splice_matches_serial(self):
+        """Absorbing exported sub-traces in trial order reproduces the event
+        stream of running the trials inline — the determinism contract."""
+        subs = []
+        for trial in range(3):
+            sub = RecordingTracer(clock=FakeClock())
+            with sub.span("test", trial=trial):
+                pass
+            subs.append(sub.export())
+
+        spliced = RecordingTracer(clock=FakeClock())
+        for trial, sub in enumerate(subs):
+            spliced.absorb(sub, trial=trial)
+
+        inline = RecordingTracer(clock=FakeClock())
+        for trial in range(3):
+            with inline.span("test", trial=trial) as span:
+                span.set(trial=trial)
+        assert canonical_jsonl(spliced.export()) == canonical_jsonl(inline.export())
+
+
+class TestSerialisation:
+    def _events(self):
+        t = RecordingTracer(clock=FakeClock())
+        with t.span("test", n=100):
+            t.event("ledger", total=5)
+        return t.export()
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = self._events()
+        write_jsonl(path, events)
+        assert read_jsonl(path) == events
+        assert validate_trace(path) == len(events)
+
+    def test_write_is_sorted_keys(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, self._events())
+        for line in path.read_text().splitlines():
+            raw = json.loads(line)
+            assert list(raw) == sorted(raw)
+
+    def test_strip_wall_clock(self):
+        event = self._events()[0]
+        stripped = strip_wall_clock(event)
+        assert "duration_s" not in stripped
+        assert set(stripped) == EVENT_KEYS - {"duration_s"}
+
+    def test_canonical_jsonl_ignores_durations(self):
+        fast = RecordingTracer(clock=FakeClock(step=0.001))
+        slow = RecordingTracer(clock=FakeClock(step=10.0))
+        for t in (fast, slow):
+            with t.span("s"):
+                pass
+        assert canonical_jsonl(fast.export()) == canonical_jsonl(slow.export())
+
+    def test_read_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not JSON"):
+            read_jsonl(path)
+        path.write_text('{"kind": "span"}\n')
+        with pytest.raises(ValueError, match="missing"):
+            read_jsonl(path)
+
+    def test_validate_trace_rejects_nonincreasing_seq(self, tmp_path):
+        path = tmp_path / "seq.jsonl"
+        event = TraceEvent("event", "e", 0, 0).to_json()
+        write_jsonl(path, [event, event])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            validate_trace(path)
+
+
+class TestValidateEvent:
+    def good(self) -> dict:
+        return TraceEvent("span", "test", 0, 0, {"x": 1}, 0.1).to_json()
+
+    def test_accepts_good_event(self):
+        validate_event(self.good())
+
+    @pytest.mark.parametrize(
+        "patch",
+        [
+            {"kind": "bogus"},
+            {"name": ""},
+            {"name": 3},
+            {"seq": -1},
+            {"seq": True},
+            {"depth": -2},
+            {"attrs": []},
+            {"duration_s": "fast"},
+            {"duration_s": -0.1},
+        ],
+    )
+    def test_rejects_bad_fields(self, patch):
+        event = {**self.good(), **patch}
+        with pytest.raises(ValueError):
+            validate_event(event)
+
+    def test_rejects_extra_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            validate_event({**self.good(), "extra": 1})
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_event([1, 2, 3])

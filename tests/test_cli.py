@@ -84,3 +84,69 @@ class TestCommands:
         rc = main(argv + ["--resume"])
         assert rc == 0
         assert "fitted exponent" in capsys.readouterr().out
+
+
+class TestTraceCli:
+    def _run_traced(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        rc = main(
+            ["test", "staircase", "--n", "1500", "--k", "4", "--eps", "0.3",
+             "--trace", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        return path, out
+
+    def test_test_writes_trace_file(self, tmp_path, capsys):
+        path, out = self._run_traced(tmp_path, capsys)
+        assert path.exists()
+        assert "trace     :" in out
+
+    def test_trace_validate(self, tmp_path, capsys):
+        path, _ = self._run_traced(tmp_path, capsys)
+        rc = main(["trace", "validate", str(path)])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_trace_summarize(self, tmp_path, capsys):
+        path, _ = self._run_traced(tmp_path, capsys)
+        rc = main(["trace", "summarize", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # The per-stage table renders one row per span path, plus the ledger.
+        for row in ("test/partition", "test/learn", "test/sieve", "test/chi2"):
+            assert row in out
+        assert "ledger events" in out and "reconciled" in out
+
+    def test_sweep_trace_flag(self, tmp_path, capsys):
+        path = tmp_path / "sweep_trace.jsonl"
+        rc = main(
+            ["sweep", "n", "--values", "800", "--k", "3", "--eps", "0.35",
+             "--trials", "3", "--bisection-steps", "1", "--seed", "3",
+             "--trace", str(path)]
+        )
+        assert rc == 0
+        assert path.exists()
+        rc = main(["trace", "validate", str(path)])
+        assert rc == 0
+        capsys.readouterr()
+
+
+class TestStageTable:
+    def test_stage_table_uses_key_union(self, capsys):
+        """Stages present in only one audit dict must still be printed."""
+        from repro.cli import _print_stage_table
+        from repro.core.tester import Verdict
+
+        verdict = Verdict(
+            accept=True, stage="chi2", reason="", samples_used=10, k=2, eps=0.3,
+            stage_samples={"partition": 10, "mystery": 0},
+            stage_timings={"check": 0.5},
+        )
+        _print_stage_table(verdict)
+        out = capsys.readouterr().out
+        assert "partition" in out
+        assert "check" in out  # timing-only stage no longer dropped
+        assert "mystery" in out  # unknown stages appended after STAGE_ORDER
+        lines = [line.split(":")[0].strip() for line in out.splitlines()]
+        assert lines.index("partition") < lines.index("check") < lines.index("mystery")
