@@ -13,6 +13,10 @@ Six subcommands mirroring the library's main entry points:
   named workload, fanned out over ``--workers`` processes (results are
   bit-identical to serial; ``--compare-serial`` verifies and reports the
   speedup);
+* ``serve``   — drive the always-on multi-session service over a
+  deterministic request population (``--chaos`` injects the standard fault
+  schedule; every session ends VERDICT/DEGRADED/EVICTED/REJECTED and the
+  run replays byte-identically under a fixed seed);
 * ``trace``   — inspect a trace file (``summarize`` renders per-span
   aggregates, ``validate`` checks the JSONL schema and seq invariant).
 
@@ -241,6 +245,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ChaosConfig, ServiceConfig, TesterService, build_requests
+
+    chaos = ChaosConfig(
+        sessions=args.sessions,
+        n=args.n,
+        k=args.k,
+        eps=args.eps,
+        fault_rate=args.fault_rate if args.chaos else 0.0,
+        seed=args.seed,
+    )
+    service = TesterService(ServiceConfig(tester=_config(args), workers=args.workers))
+    for request in build_requests(chaos):
+        service.submit(request)
+    report = service.run()
+    counts = report.counts()
+    print(f"sessions  : {args.sessions} "
+          f"(chaos fault rate {chaos.fault_rate:.0%})")
+    print(f"rounds    : {report.rounds}")
+    print(f"outcomes  : " + "  ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+    rate = len(report.outcomes) / report.wall_seconds if report.wall_seconds else 0.0
+    print(f"throughput: {rate:.1f} sessions/s ({report.wall_seconds:.2f}s wall)")
+    degraded = [o for o in report.outcomes if o.state == "DEGRADED"]
+    for outcome in degraded:
+        print(f"  degraded  {outcome.request_id}: {outcome.degraded_mode} "
+              f"(confidence {outcome.confidence:.3g})")
+    evicted = [o for o in report.outcomes if o.state == "EVICTED"]
+    for outcome in evicted:
+        print(f"  evicted   {outcome.request_id}: {outcome.reason}")
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report.canonical_json())
+        print(f"report    : {args.report}")
+    if args.trace_dir:
+        import os
+
+        os.makedirs(args.trace_dir, exist_ok=True)
+        for request_id, events in sorted(service.session_traces.items()):
+            write_jsonl(os.path.join(args.trace_dir, f"{request_id}.jsonl"), events)
+        print(f"traces    : {args.trace_dir} "
+              f"({len(service.session_traces)} session files)")
+    if args.metrics:
+        from repro.observability.metrics import get_metrics
+
+        for key, value in get_metrics().snapshot().items():
+            print(f"  metric    {key} = {value}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.action == "validate":
         count = validate_trace(args.file)
@@ -351,6 +404,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(p_sweep)
     _add_trace(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the always-on multi-session tester service"
+    )
+    p_serve.add_argument(
+        "--sessions", type=int, default=40, help="number of stream sessions to submit"
+    )
+    _add_common(p_serve)
+    p_serve.add_argument(
+        "--chaos",
+        action="store_true",
+        default=False,
+        help="replay the deterministic fault schedule over the session population",
+    )
+    p_serve.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.1,
+        help="fraction of sessions carrying an injected fault (with --chaos)",
+    )
+    p_serve.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the canonical JSON service report to this file",
+    )
+    p_serve.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="PATH",
+        help="write one JSONL trace file per session into this directory",
+    )
+    p_serve.add_argument(
+        "--metrics",
+        action="store_true",
+        default=False,
+        help="print the final metrics snapshot",
+    )
+    _add_workers(p_serve)
+    # Chaos-drill defaults: n=512 keeps the full pipeline (not the plugin
+    # regime) in play, so every fault kind actually fires.
+    p_serve.set_defaults(func=_cmd_serve, n=512, k=4, eps=0.3)
 
     p_trace = sub.add_parser("trace", help="inspect a JSONL trace file")
     p_trace.add_argument(

@@ -67,6 +67,28 @@ def active_mask(
     return mask
 
 
+def chi2_point_terms(
+    counts: np.ndarray,
+    m: "float | np.ndarray",
+    reference_pmf: np.ndarray,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Point-level χ² terms — the batch-first core of every statistic here.
+
+    All arguments broadcast: a single stream passes ``(n,)`` arrays and a
+    scalar ``m``; the serve layer stacks whole batches as ``(streams,
+    repeats, n)`` counts against ``(streams, 1, n)`` references/masks and
+    per-stream ``m`` of shape ``(streams, 1, 1)``, computing every session's
+    terms in one vectorized pass.  The arithmetic is elementwise, so the
+    stacked result is bit-identical to the per-stream loop.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    expected = m * reference_pmf
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = ((counts - expected) ** 2 - counts) / expected
+    return np.where(mask & (expected > 0), terms, 0.0)
+
+
 def interval_statistics(
     counts: np.ndarray,
     m: float,
@@ -74,7 +96,11 @@ def interval_statistics(
     partition: Partition,
     mask: np.ndarray,
 ) -> np.ndarray:
-    """Per-interval statistics ``Z_j`` from a Poissonized count vector."""
+    """Per-interval statistics ``Z_j`` from a Poissonized count vector.
+
+    A thin single-stream wrapper over :func:`chi2_point_terms` plus the
+    partition aggregation.
+    """
     counts = np.asarray(counts, dtype=np.float64)
     if counts.shape != reference_pmf.shape:
         raise ValueError("counts and reference cover different domains")
@@ -82,11 +108,7 @@ def interval_statistics(
         raise ValueError("partition does not cover the domain")
     if m <= 0:
         raise ValueError("expected sample size must be positive")
-    expected = m * reference_pmf
-    with np.errstate(divide="ignore", invalid="ignore"):
-        terms = ((counts - expected) ** 2 - counts) / expected
-    terms = np.where(mask & (expected > 0), terms, 0.0)
-    return partition.aggregate(terms)
+    return partition.aggregate(chi2_point_terms(counts, m, reference_pmf, mask))
 
 
 @dataclass(frozen=True)
@@ -99,6 +121,31 @@ class Chi2Result:
     m: float
     interval_statistics: np.ndarray
     samples_used: int
+
+
+def median_interval_statistics(
+    counts: np.ndarray,
+    m: float,
+    reference: DiscreteDistribution | Histogram | np.ndarray,
+    partition: Partition,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Median-amplified per-interval statistics from *pre-drawn* batches.
+
+    ``counts`` has shape ``(repeats, n)`` — one Poissonized count vector per
+    row.  Separating the draws from the arithmetic is what lets the stepped
+    tester pipeline and the serve batch executor compute statistics away
+    from the sample stream; given the same draws the result is bit-identical
+    to :func:`collect_interval_statistics`.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 2:
+        raise ValueError(f"counts must be (repeats, n), got shape {counts.shape}")
+    ref = _reference_pmf(reference)
+    batches = np.stack(
+        [interval_statistics(row, m, ref, partition, mask) for row in counts]
+    )
+    return np.median(batches, axis=0)
 
 
 def collect_interval_statistics(
@@ -114,14 +161,8 @@ def collect_interval_statistics(
     median amplification of §3.2.1)."""
     if repeats < 1:
         raise ValueError(f"repeats must be positive, got {repeats}")
-    ref = _reference_pmf(reference)
-    batches = np.stack(
-        [
-            interval_statistics(source.draw_counts_poissonized(m), m, ref, partition, mask)
-            for _ in range(repeats)
-        ]
-    )
-    return np.median(batches, axis=0)
+    counts = np.stack([source.draw_counts_poissonized(m) for _ in range(repeats)])
+    return median_interval_statistics(counts, m, reference, partition, mask)
 
 
 def chi2_test(

@@ -20,6 +20,13 @@ integer equality, no tolerance — against the source's draw counter on
 ``Verdict.stage_samples`` / ``stage_timings`` are views over the same
 per-stage log that feeds the trace, so a ``--trace`` run and the verdict
 can never disagree.
+
+The core is *batch-first*: :class:`TesterPipeline` exposes the stages as
+individual steps so a service multiplexing many sessions
+(:mod:`repro.serve`) can pause every session at the final χ² test and
+compute a whole batch of per-interval statistics in one vectorized pass.
+:func:`test_histogram` — the single-call API — is a thin wrapper that runs
+the same steps in order, so the two paths cannot drift.
 """
 
 from __future__ import annotations
@@ -27,11 +34,11 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 import numpy as np
 
-from repro.core.chi2 import Chi2Result, chi2_test
+from repro.core.chi2 import Chi2Result, active_mask, median_interval_statistics
 from repro.core.config import TesterConfig
 from repro.core.learner import learn_histogram
 from repro.core.partition import approx_partition
@@ -49,6 +56,12 @@ from repro.util.rng import RandomState
 #: Canonical stage order of the pipeline (used by the CLI stage table and
 #: trace summaries; early-exit verdicts record a prefix of it).
 STAGE_ORDER = ("partition", "learn", "sieve", "check", "chi2", "plugin")
+
+#: Signature of the Step-10 check oracle: ``(pmf, partition, k, kept,
+#: tolerance, engine=...) -> bool``.  The default is the DP of
+#: :func:`~repro.distributions.projection.exists_close_histogram`; the serve
+#: layer injects a caching/fallback wrapper with the same signature.
+CheckOracle = Callable[..., bool]
 
 
 @dataclass(frozen=True)
@@ -77,13 +90,29 @@ class Verdict:
         return self.accept
 
 
+class _StageHandle:
+    """An open stage: pairs the trace span with the draw/clock marks."""
+
+    __slots__ = ("name", "cm", "span", "mark", "tick")
+
+    def __init__(self, name: str, cm, span, mark: int, tick: float) -> None:
+        self.name = name
+        self.cm = cm
+        self.span = span
+        self.mark = mark
+        self.tick = tick
+
+
 class _StageLog:
     """Per-stage accounting shared by the verdict, the trace and the ledger.
 
-    One :meth:`stage` context per pipeline stage records the integer draw
-    count and wall-clock duration into the verdict's dicts, enters the
-    draws into the sample ledger, and closes a trace span carrying the same
-    numbers — a single source of truth for all three views.
+    One stage (opened with :meth:`begin`/:meth:`end`, or the :meth:`stage`
+    context manager wrapping them) records the integer draw count and
+    wall-clock duration into the verdict's dicts, enters the draws into the
+    sample ledger, and closes a trace span carrying the same numbers — a
+    single source of truth for all three views.  The explicit begin/end
+    form exists for the stepped pipeline, where a stage stays open across
+    several calls (the batched final test).
     """
 
     def __init__(self, source: SampleSource, trace: Tracer, ledger: SampleLedger) -> None:
@@ -93,19 +122,374 @@ class _StageLog:
         self.stage_samples: dict[str, int] = {}
         self.stage_timings: dict[str, float] = {}
 
-    @contextmanager
-    def stage(self, name: str, **attrs: object) -> Iterator[object]:
+    def begin(self, name: str, **attrs: object) -> _StageHandle:
         mark = self._source.samples_drawn
         tick = time.perf_counter()
-        with self._trace.span(name, **attrs) as span:
+        cm = self._trace.span(name, **attrs)
+        span = cm.__enter__()
+        return _StageHandle(name, cm, span, mark, tick)
+
+    def end(self, handle: _StageHandle) -> None:
+        try:
+            drew = self._source.samples_drawn - handle.mark
+            handle.span.set(samples=drew)
+            self.stage_samples[handle.name] = drew
+            self.stage_timings[handle.name] = time.perf_counter() - handle.tick
+            self._ledger.record(handle.name, drew)
+        finally:
+            handle.cm.__exit__(None, None, None)
+
+    @contextmanager
+    def stage(self, name: str, **attrs: object) -> Iterator[object]:
+        handle = self.begin(name, **attrs)
+        try:
+            yield handle.span
+        finally:
+            self.end(handle)
+
+
+@dataclass(frozen=True)
+class FinalTestPlan:
+    """Everything a batched executor needs for one session's final χ² test."""
+
+    m: float
+    repeats: int
+    eps_final: float
+    reference_pmf: np.ndarray
+    mask: np.ndarray
+
+
+class TesterPipeline:
+    """Stepped (batch-first) execution of Algorithm 1 over one source.
+
+    Stepping protocol — each boundary is a point where a multiplexing
+    service may interleave other sessions::
+
+        pipeline = TesterPipeline(dist, k, eps, config=..., trace=...)
+        verdict = pipeline.prepare()            # trivial/plugin short-circuit
+        if verdict is None:
+            pipeline.run_partition()
+            pipeline.run_learn()
+            verdict = pipeline.run_sieve()      # may reject
+        if verdict is None:
+            verdict = pipeline.run_check()      # may reject
+        if verdict is None:
+            plan = pipeline.begin_final_test()
+            counts = pipeline.draw_final_counts()           # (repeats, n)
+            z = median_interval_statistics(
+                counts, plan.m, plan.reference_pmf, pipeline.partition, plan.mask
+            )
+            verdict = pipeline.finish_final_test(z)
+
+    The statistics step takes *pre-drawn* counts, so a batch executor can
+    stack many sessions' count matrices and compute every session's χ²
+    point terms in one vectorized call — bit-identical to the serial path,
+    because the arithmetic is elementwise.
+
+    Every verdict path reconciles the per-session ledger exactly.  A caller
+    that abandons a pipeline mid-flight (stream failure, timeout, budget
+    overrun) must call :meth:`abort` so the partial draws of any open stage
+    land in the ledger and the reconciliation still balances.
+    """
+
+    __test__ = False  # "Test"-prefixed product class; not a pytest suite
+
+    def __init__(
+        self,
+        dist: DiscreteDistribution | SampleSource,
+        k: int,
+        eps: float,
+        *,
+        config: TesterConfig | None = None,
+        rng: RandomState = None,
+        projection_engine: str = "auto",
+        check_oracle: CheckOracle | None = None,
+        trace: Tracer = NULL_TRACER,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        if not 0.0 < eps <= 1.0:
+            raise ValueError(f"eps must be in (0, 1], got {eps}")
+        self.k = k
+        self.eps = eps
+        self.config = config if config is not None else TesterConfig.practical()
+        self.engine = projection_engine
+        self.check_oracle = (
+            check_oracle if check_oracle is not None else exists_close_histogram
+        )
+        self.trace = trace
+        self.source = as_source(dist, rng)
+        self.n = self.source.n
+        self.start = self.source.samples_drawn
+        self.partition: Partition | None = None
+        self.learned: Histogram | None = None
+        self.sieve: SieveResult | None = None
+        self._b: float | None = None
+        self._ledger: SampleLedger | None = None
+        self._log: _StageLog | None = None
+        self._final: _StageHandle | None = None
+        self._plan: FinalTestPlan | None = None
+
+    # -- admission metadata ---------------------------------------------------
+
+    def budget_cap(self) -> int | None:
+        """The Algorithm 1 sample cap for this instance (``None`` when the
+        trivial/plugin regimes apply and the formula does not)."""
+        if self.k >= self.n:
+            return 0
+        b = self.config.partition_b(self.k, self.eps)
+        if 2.0 * b + 2.0 >= self.n / 2.0:
+            return None
+        from repro.core.budget import algorithm1_budget
+
+        return int(algorithm1_budget(self.n, self.k, self.eps, self.config))
+
+    # -- stepped stages -------------------------------------------------------
+
+    def prepare(self) -> Verdict | None:
+        """Dispatch the degenerate regimes; set up the ledger otherwise.
+
+        Returns a short-circuit :class:`Verdict` for the trivial (``k ≥ n``)
+        and plug-in (``b ≈ n``) regimes, ``None`` when the main pipeline
+        should run.
+        """
+        n, k, eps = self.n, self.k, self.eps
+        # H_k for k >= n is all of Δ([n]): accept without drawing a sample.
+        if k >= n:
+            ledger = SampleLedger()
+            samples_used = _finish(self.trace, ledger, self.source.samples_drawn - self.start)
+            return Verdict(
+                accept=True,
+                stage="trivial",
+                reason=f"k={k} >= n={n}: every distribution is an n-histogram",
+                samples_used=samples_used,
+                k=k,
+                eps=eps,
+            )
+
+        b = self.config.partition_b(k, eps)
+        if 2.0 * b + 2.0 >= n / 2.0:
+            # Degenerate regime k·log k/ε = Ω(n): the partition would be almost
+            # all singletons and Algorithm 1's budget exceeds the trivial one.
+            # The paper's efficiency case is k = o(n) (Section 1.1: "one can
+            # always … compute the closest histogram offline from O(n) data
+            # points"); do exactly that here.  The plug-in draws Θ(n) samples,
+            # outside the Algorithm 1 budget formula, so its ledger is uncapped.
+            from repro.baselines.learn_offline import learn_offline_test
+
+            self._ledger = SampleLedger()
+            self._log = _StageLog(self.source, self.trace, self._ledger)
+            with self._log.stage("plugin"):
+                plugin = learn_offline_test(self.source, k, eps)
+            return self._exit(
+                accept=plugin.accept,
+                stage="plugin",
+                reason=(
+                    f"b={b:.0f} ~ n={n}: plug-in fallback; empirical distance "
+                    f"{plugin.plugin_distance:.4g} vs threshold {plugin.threshold:.4g}"
+                ),
+            )
+
+        from repro.core.budget import algorithm1_budget
+
+        self._b = b
+        self._ledger = SampleLedger(budget_cap=int(algorithm1_budget(n, k, eps, self.config)))
+        self._log = _StageLog(self.source, self.trace, self._ledger)
+        return None
+
+    def run_partition(self) -> None:
+        """Stage 1: partition [line 3]."""
+        with self._log.stage("partition", b=int(self._b)) as span:
+            self.partition = approx_partition(
+                self.source, self._b, self.config.partition_samples(self.k, self.eps)
+            )
+            span.set(intervals=len(self.partition))
+
+    def run_learn(self) -> None:
+        """Stage 2: learn [line 4]."""
+        with self._log.stage("learn"):
+            self.learned = learn_histogram(
+                self.source,
+                self.partition,
+                self.config.learner_samples(len(self.partition), self.eps),
+                self.trace,
+            )
+
+    def run_sieve(self) -> Verdict | None:
+        """Stage 3: sieve [lines 6–8]; returns a rejecting verdict or None."""
+        with self._log.stage("sieve") as span:
+            if self.config.sieve_enabled:
+                self.sieve = sieve_intervals(
+                    self.source, self.learned, self.k, self.eps, self.config, self.trace
+                )
+            else:
+                # Ablation mode (E15): keep everything; the breakpoint intervals'
+                # chi2 mass flows straight into the final test.
+                self.sieve = SieveResult(
+                    rejected=False,
+                    reason="sieve disabled by configuration",
+                    kept=np.ones(len(self.partition), dtype=bool),
+                    removed=np.empty(0, dtype=np.int64),
+                    rounds=0,
+                    samples_used=0,
+                    final_statistic=float("nan"),
+                )
+            span.set(
+                rounds=self.sieve.rounds,
+                removed=self.sieve.num_removed,
+                rejected=self.sieve.rejected,
+            )
+        if self.sieve.rejected:
+            return self._exit(accept=False, stage="sieve", reason=self.sieve.reason)
+        return None
+
+    def run_check(self) -> Verdict | None:
+        """Stage 4: check [line 10]; returns a rejecting verdict or None.
+
+        Sample-free (pure DP over the learned pmf), but logged like every
+        other stage so the per-stage views cover all executed work on all
+        exit paths.
+        """
+        with self._log.stage("check") as span:
+            close = self.check_oracle(
+                self.learned.to_pmf(),
+                self.partition,
+                self.k,
+                self.sieve.kept,
+                self.config.check_tolerance(self.eps),
+                engine=self.engine,
+            )
+            span.set(close=bool(close))
+        if not close:
+            return self._exit(
+                accept=False,
+                stage="check",
+                reason=(
+                    f"no k-histogram within {self.config.check_tolerance(self.eps):.4g} "
+                    "of the learned distribution on the kept domain"
+                ),
+            )
+        return None
+
+    # -- stage 5: final χ² test [line 13], stepped ---------------------------
+
+    def begin_final_test(self) -> FinalTestPlan:
+        """Open the chi2 stage and fix the test parameters."""
+        eps_final = self.config.final_eps(self.eps)
+        kept_points = self.partition.restrict_mask(list(np.flatnonzero(self.sieve.kept)))
+        ref = self.learned.to_pmf()
+        self._plan = FinalTestPlan(
+            m=self.config.chi2_samples(self.n, eps_final),
+            repeats=self.config.chi2_repeat_count(self.k),
+            eps_final=eps_final,
+            reference_pmf=ref,
+            mask=active_mask(ref, eps_final, self.config.chi2_truncation, kept_points),
+        )
+        self._final = self._log.begin("chi2")
+        return self._plan
+
+    def draw_final_counts(self) -> np.ndarray:
+        """Draw the ``(repeats, n)`` Poissonized count matrix for the test.
+
+        This is the only sampling step of the final test — the step where
+        stream faults, deadline overruns, and budget exhaustion surface.
+        """
+        plan = self._plan
+        return np.stack(
+            [self.source.draw_counts_poissonized(plan.m) for _ in range(plan.repeats)]
+        )
+
+    def finish_final_test(self, z_per_interval: np.ndarray) -> Verdict:
+        """Threshold the (externally computed) statistics into a verdict."""
+        plan = self._plan
+        handle = self._final
+        z_per_interval = np.asarray(z_per_interval, dtype=np.float64)
+        statistic = float(z_per_interval.sum())
+        threshold = self.config.chi2_accept_fraction * plan.m * plan.eps_final * plan.eps_final
+        chi2 = Chi2Result(
+            accept=statistic <= threshold,
+            statistic=statistic,
+            threshold=threshold,
+            m=plan.m,
+            interval_statistics=z_per_interval,
+            samples_used=self.source.samples_drawn - handle.mark,
+        )
+        handle.span.set(statistic=chi2.statistic, threshold=chi2.threshold, accept=chi2.accept)
+        self._final = None
+        self._log.end(handle)
+        reason = (
+            f"final χ² statistic {chi2.statistic:.4g} "
+            f"{'<=' if chi2.accept else '>'} threshold {chi2.threshold:.4g}"
+        )
+        return self._exit(accept=chi2.accept, stage="chi2", reason=reason, chi2=chi2)
+
+    @property
+    def final_in_flight(self) -> bool:
+        """True between ``begin_final_test`` and its finish/close — i.e. the
+        learn/sieve/check prefix already passed (degradation policy hook)."""
+        return self._final is not None
+
+    def close_final_test(self) -> None:
+        """Close an open chi2 stage without a verdict (failure path): the
+        partial draws are recorded so the ledger can still reconcile."""
+        if self._final is not None:
+            handle, self._final = self._final, None
+            self._log.end(handle)
+
+    def abort(self) -> int:
+        """Abandon the pipeline mid-flight and reconcile what was drawn.
+
+        Closes any open final-test stage, then demands the usual exact
+        integer reconciliation over every stage the attempt executed
+        (partial draws included — stages record in ``finally``).  Returns
+        the attempt's reconciled sample total.
+        """
+        self.close_final_test()
+        samples = self.source.samples_drawn - self.start
+        if self._ledger is None:
+            return samples  # failed before prepare(): nothing was drawn
+        return _finish(self.trace, self._ledger, samples)
+
+    # -- drivers --------------------------------------------------------------
+
+    def run(self) -> Verdict:
+        """Run every stage in order (the single-session driver)."""
+        verdict = self.prepare()
+        if verdict is None:
+            self.run_partition()
+            self.run_learn()
+            verdict = self.run_sieve()
+        if verdict is None:
+            verdict = self.run_check()
+        if verdict is None:
+            plan = self.begin_final_test()
             try:
-                yield span
-            finally:
-                drew = self._source.samples_drawn - mark
-                span.set(samples=drew)
-                self.stage_samples[name] = drew
-                self.stage_timings[name] = time.perf_counter() - tick
-                self._ledger.record(name, drew)
+                counts = self.draw_final_counts()
+                z = median_interval_statistics(
+                    counts, plan.m, plan.reference_pmf, self.partition, plan.mask
+                )
+            except BaseException:
+                self.close_final_test()
+                raise
+            verdict = self.finish_final_test(z)
+        return verdict
+
+    def _exit(self, accept: bool, stage: str, reason: str, chi2: Chi2Result | None = None) -> Verdict:
+        samples_used = _finish(self.trace, self._ledger, self.source.samples_drawn - self.start)
+        return Verdict(
+            accept=accept,
+            stage=stage,
+            reason=reason,
+            samples_used=samples_used,
+            k=self.k,
+            eps=self.eps,
+            partition=self.partition,
+            learned=self.learned,
+            sieve=self.sieve,
+            chi2=chi2,
+            stage_samples=dict(self._log.stage_samples),
+            stage_timings=dict(self._log.stage_timings),
+        )
 
 
 def test_histogram(
@@ -119,6 +503,9 @@ def test_histogram(
     trace: Tracer = NULL_TRACER,
 ) -> Verdict:
     """Test whether the unknown distribution is a ``k``-histogram.
+
+    A thin wrapper over :class:`TesterPipeline` — construct it, run every
+    stage in order, count the verdict.
 
     Parameters
     ----------
@@ -150,20 +537,17 @@ def test_histogram(
         ``accept`` ≈ "``D ∈ H_k``" (guaranteed w.p. ≥ 2/3 when true);
         ``not accept`` ≈ "``dTV(D, H_k) ≥ ε``" (w.p. ≥ 2/3 when true).
     """
-    if k < 1:
-        raise ValueError(f"k must be at least 1, got {k}")
-    if not 0.0 < eps <= 1.0:
-        raise ValueError(f"eps must be in (0, 1], got {eps}")
-    if config is None:
-        config = TesterConfig.practical()
-    source = as_source(dist, rng)
-    n = source.n
-    start = source.samples_drawn
-
-    with trace.span("test", n=n, k=k, eps=eps) as run_span:
-        verdict = _run_pipeline(
-            source, n, k, eps, config, projection_engine, trace, start
-        )
+    pipeline = TesterPipeline(
+        dist,
+        k,
+        eps,
+        config=config,
+        rng=rng,
+        projection_engine=projection_engine,
+        trace=trace,
+    )
+    with trace.span("test", n=pipeline.n, k=k, eps=eps) as run_span:
+        verdict = pipeline.run()
         run_span.set(
             accept=verdict.accept,
             stage=verdict.stage,
@@ -173,178 +557,6 @@ def test_histogram(
         "tester.verdicts", stage=verdict.stage, accept=verdict.accept
     ).inc()
     return verdict
-
-
-def _run_pipeline(
-    source: SampleSource,
-    n: int,
-    k: int,
-    eps: float,
-    config: TesterConfig,
-    projection_engine: str,
-    trace: Tracer,
-    start: int,
-) -> Verdict:
-    # H_k for k >= n is all of Δ([n]): accept without drawing a sample.
-    if k >= n:
-        ledger = SampleLedger()
-        samples_used = _finish(trace, ledger, source.samples_drawn - start)
-        return Verdict(
-            accept=True,
-            stage="trivial",
-            reason=f"k={k} >= n={n}: every distribution is an n-histogram",
-            samples_used=samples_used,
-            k=k,
-            eps=eps,
-        )
-
-    b = config.partition_b(k, eps)
-    if 2.0 * b + 2.0 >= n / 2.0:
-        # Degenerate regime k·log k/ε = Ω(n): the partition would be almost
-        # all singletons and Algorithm 1's budget exceeds the trivial one.
-        # The paper's efficiency case is k = o(n) (Section 1.1: "one can
-        # always … compute the closest histogram offline from O(n) data
-        # points"); do exactly that here.  The plug-in draws Θ(n) samples,
-        # outside the Algorithm 1 budget formula, so its ledger is uncapped.
-        from repro.baselines.learn_offline import learn_offline_test
-
-        ledger = SampleLedger()
-        log = _StageLog(source, trace, ledger)
-        with log.stage("plugin"):
-            plugin = learn_offline_test(source, k, eps)
-        samples_used = _finish(trace, ledger, source.samples_drawn - start)
-        return Verdict(
-            accept=plugin.accept,
-            stage="plugin",
-            reason=(
-                f"b={b:.0f} ~ n={n}: plug-in fallback; empirical distance "
-                f"{plugin.plugin_distance:.4g} vs threshold {plugin.threshold:.4g}"
-            ),
-            samples_used=samples_used,
-            k=k,
-            eps=eps,
-            stage_samples=dict(log.stage_samples),
-            stage_timings=dict(log.stage_timings),
-        )
-
-    from repro.core.budget import algorithm1_budget
-
-    ledger = SampleLedger(budget_cap=int(algorithm1_budget(n, k, eps, config)))
-    log = _StageLog(source, trace, ledger)
-
-    # ----- Stage 1: partition [line 3] --------------------------------------
-    with log.stage("partition", b=int(b)) as span:
-        partition = approx_partition(source, b, config.partition_samples(k, eps))
-        span.set(intervals=len(partition))
-
-    # ----- Stage 2: learn [line 4] -------------------------------------------
-    with log.stage("learn"):
-        learned = learn_histogram(
-            source, partition, config.learner_samples(len(partition), eps), trace
-        )
-
-    # ----- Stage 3: sieve [lines 6-8] ----------------------------------------
-    with log.stage("sieve") as span:
-        if config.sieve_enabled:
-            sieve = sieve_intervals(source, learned, k, eps, config, trace)
-        else:
-            # Ablation mode (E15): keep everything; the breakpoint intervals'
-            # chi2 mass flows straight into the final test.
-            sieve = SieveResult(
-                rejected=False,
-                reason="sieve disabled by configuration",
-                kept=np.ones(len(partition), dtype=bool),
-                removed=np.empty(0, dtype=np.int64),
-                rounds=0,
-                samples_used=0,
-                final_statistic=float("nan"),
-            )
-        span.set(rounds=sieve.rounds, removed=sieve.num_removed,
-                 rejected=sieve.rejected)
-    if sieve.rejected:
-        samples_used = _finish(trace, ledger, source.samples_drawn - start)
-        return Verdict(
-            accept=False,
-            stage="sieve",
-            reason=sieve.reason,
-            samples_used=samples_used,
-            k=k,
-            eps=eps,
-            partition=partition,
-            learned=learned,
-            sieve=sieve,
-            stage_samples=dict(log.stage_samples),
-            stage_timings=dict(log.stage_timings),
-        )
-
-    # ----- Stage 4: check [line 10] ------------------------------------------
-    # Sample-free (pure DP over the learned pmf), but logged like every other
-    # stage so the per-stage views cover all executed work on all exit paths.
-    with log.stage("check") as span:
-        close = exists_close_histogram(
-            learned.to_pmf(),
-            partition,
-            k,
-            sieve.kept,
-            config.check_tolerance(eps),
-            engine=projection_engine,
-        )
-        span.set(close=bool(close))
-    if not close:
-        samples_used = _finish(trace, ledger, source.samples_drawn - start)
-        return Verdict(
-            accept=False,
-            stage="check",
-            reason=(
-                f"no k-histogram within {config.check_tolerance(eps):.4g} of the "
-                "learned distribution on the kept domain"
-            ),
-            samples_used=samples_used,
-            k=k,
-            eps=eps,
-            partition=partition,
-            learned=learned,
-            sieve=sieve,
-            stage_samples=dict(log.stage_samples),
-            stage_timings=dict(log.stage_timings),
-        )
-
-    # ----- Stage 5: final χ² test [line 13] ----------------------------------
-    eps_final = config.final_eps(eps)
-    kept_points = partition.restrict_mask(list(np.flatnonzero(sieve.kept)))
-    with log.stage("chi2") as span:
-        chi2 = chi2_test(
-            source,
-            learned,
-            eps_final,
-            m=config.chi2_samples(n, eps_final),
-            accept_fraction=config.chi2_accept_fraction,
-            truncation=config.chi2_truncation,
-            domain_mask=kept_points,
-            partition=partition,
-            repeats=config.chi2_repeat_count(k),
-        )
-        span.set(statistic=chi2.statistic, threshold=chi2.threshold,
-                 accept=chi2.accept)
-    samples_used = _finish(trace, ledger, source.samples_drawn - start)
-    reason = (
-        f"final χ² statistic {chi2.statistic:.4g} "
-        f"{'<=' if chi2.accept else '>'} threshold {chi2.threshold:.4g}"
-    )
-    return Verdict(
-        accept=chi2.accept,
-        stage="chi2",
-        reason=reason,
-        samples_used=samples_used,
-        k=k,
-        eps=eps,
-        partition=partition,
-        learned=learned,
-        sieve=sieve,
-        chi2=chi2,
-        stage_samples=dict(log.stage_samples),
-        stage_timings=dict(log.stage_timings),
-    )
 
 
 def _finish(trace: Tracer, ledger: SampleLedger, samples_used: int) -> int:

@@ -48,8 +48,13 @@ import numpy as np
 
 from repro.robustness.resilience import TrialFailure
 
-#: ``procedure(index, seed) -> TrialOutcome`` — must be picklable for the
-#: process backend and deterministic given ``seed``.
+#: ``procedure(index, payload) -> TrialOutcome`` — the batch-first contract:
+#: must be picklable for the process backend and deterministic given its
+#: payload (all randomness flows through the payload, never ambient state).
+TaskProcedure = Callable[[int, Any], "TrialOutcome"]
+
+#: ``procedure(index, seed) -> TrialOutcome`` — the seed-stream special case
+#: of :data:`TaskProcedure` used by repeated-trial estimates.
 TrialProcedure = Callable[[int, np.random.SeedSequence], "TrialOutcome"]
 
 
@@ -118,15 +123,15 @@ def resolve_workers(workers: int | None) -> int:
 
 
 def _run_serial(
-    procedure: TrialProcedure, seeds: Sequence[np.random.SeedSequence]
+    procedure: TaskProcedure, payloads: Sequence[Any]
 ) -> list[TrialOutcome]:
-    return [procedure(index, seed) for index, seed in enumerate(seeds)]
+    return [procedure(index, payload) for index, payload in enumerate(payloads)]
 
 
 def _rerun_isolated(
-    procedure: TrialProcedure,
+    procedure: TaskProcedure,
     index: int,
-    seed: np.random.SeedSequence,
+    payload: Any,
     isolate_crashes: bool,
 ) -> TrialOutcome:
     """Re-run one suspect trial alone in a fresh single-worker pool.
@@ -136,13 +141,67 @@ def _rerun_isolated(
     their exact result) and convicts the crasher without collateral.
     """
     with ProcessPoolExecutor(max_workers=1) as solo:
-        future = solo.submit(procedure, index, seed)
+        future = solo.submit(procedure, index, payload)
         try:
             return future.result()
         except BrokenProcessPool as exc:
             if not isolate_crashes:
                 raise ParallelExecutionError(index, str(exc)) from exc
             return TrialOutcome(index=index, failure=crash_failure(index, str(exc)))
+
+
+def run_tasks(
+    procedure: TaskProcedure,
+    payloads: Sequence[Any],
+    *,
+    workers: int | None = None,
+    isolate_crashes: bool = False,
+) -> list[TrialOutcome]:
+    """Execute ``procedure`` over arbitrary payloads, outcomes in task order.
+
+    The batch-first executor: a payload can be a seed, a session batch, or
+    any picklable work description.  ``workers`` selects the backend (see
+    :func:`resolve_workers`).  With ``isolate_crashes=True`` a dead worker
+    yields a ``WorkerCrash`` :class:`TrialOutcome` for the task it was
+    running; otherwise it raises :class:`ParallelExecutionError`.  Either
+    way the surviving tasks' results are identical to a serial run.
+    """
+    count = resolve_workers(workers)
+    payloads = list(payloads)
+    if count <= 1 or len(payloads) <= 1:
+        return _run_serial(procedure, payloads)
+    try:
+        pickle.dumps(procedure)
+    except Exception as exc:  # pickle raises a zoo of types
+        warnings.warn(
+            f"trial procedure is not picklable ({exc!r}); falling back to the "
+            "serial backend — results are unchanged, only slower",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_serial(procedure, payloads)
+
+    results: list[TrialOutcome | None] = [None] * len(payloads)
+    suspects: list[int] = []
+    with ProcessPoolExecutor(max_workers=min(count, len(payloads))) as pool:
+        futures = {}
+        try:
+            for index, payload in enumerate(payloads):
+                futures[pool.submit(procedure, index, payload)] = index
+        except BrokenProcessPool:
+            suspects.extend(range(len(futures), len(payloads)))
+        futures_wait(list(futures))
+        for future, index in futures.items():
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                suspects.append(index)
+    for index in sorted(suspects):
+        results[index] = _rerun_isolated(
+            procedure, index, payloads[index], isolate_crashes
+        )
+    assert all(outcome is not None for outcome in results)
+    return results  # type: ignore[return-value]
 
 
 def run_trials(
@@ -154,43 +213,10 @@ def run_trials(
 ) -> list[TrialOutcome]:
     """Execute ``procedure`` over ``seeds``, returning outcomes in trial order.
 
-    ``workers`` selects the backend (see :func:`resolve_workers`).  With
-    ``isolate_crashes=True`` a dead worker yields a ``WorkerCrash``
-    :class:`TrialOutcome` for the trial it was running; otherwise it raises
-    :class:`ParallelExecutionError`.  Either way the surviving trials'
-    results are identical to a serial run.
+    The seed-stream wrapper over :func:`run_tasks` used by repeated-trial
+    estimates: each payload is one trial's pre-spawned
+    :class:`numpy.random.SeedSequence`.
     """
-    count = resolve_workers(workers)
-    seeds = list(seeds)
-    if count <= 1 or len(seeds) <= 1:
-        return _run_serial(procedure, seeds)
-    try:
-        pickle.dumps(procedure)
-    except Exception as exc:  # pickle raises a zoo of types
-        warnings.warn(
-            f"trial procedure is not picklable ({exc!r}); falling back to the "
-            "serial backend — results are unchanged, only slower",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return _run_serial(procedure, seeds)
-
-    results: list[TrialOutcome | None] = [None] * len(seeds)
-    suspects: list[int] = []
-    with ProcessPoolExecutor(max_workers=min(count, len(seeds))) as pool:
-        futures = {}
-        try:
-            for index, seed in enumerate(seeds):
-                futures[pool.submit(procedure, index, seed)] = index
-        except BrokenProcessPool:
-            suspects.extend(range(len(futures), len(seeds)))
-        futures_wait(list(futures))
-        for future, index in futures.items():
-            try:
-                results[index] = future.result()
-            except BrokenProcessPool:
-                suspects.append(index)
-    for index in sorted(suspects):
-        results[index] = _rerun_isolated(procedure, index, seeds[index], isolate_crashes)
-    assert all(outcome is not None for outcome in results)
-    return results  # type: ignore[return-value]
+    return run_tasks(
+        procedure, seeds, workers=workers, isolate_crashes=isolate_crashes
+    )

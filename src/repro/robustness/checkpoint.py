@@ -31,6 +31,24 @@ class CheckpointError(RuntimeError):
     """
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory's entry table to stable storage (best effort).
+
+    Some platforms/filesystems refuse directory fds or directory fsync;
+    durability is then no worse than before, so failures are swallowed.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class CheckpointStore:
     """A single JSON checkpoint file with atomic replace semantics."""
 
@@ -58,10 +76,15 @@ class CheckpointStore:
         return state
 
     def save(self, state: dict[str, Any]) -> None:
-        """Atomically replace the checkpoint with ``state``.
+        """Atomically *and durably* replace the checkpoint with ``state``.
 
         The temp file lives in the same directory as the target so the
-        ``os.replace`` stays on one filesystem (rename atomicity).
+        ``os.replace`` stays on one filesystem (rename atomicity).  Both the
+        temp file's contents (before the rename) and the containing
+        directory's entry table (after it) are fsynced: rename atomicity
+        alone only protects against torn writes, not against a power loss
+        that reorders the rename ahead of the data blocks or drops the new
+        directory entry entirely.
         """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -73,6 +96,7 @@ class CheckpointStore:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_name, self.path)
+            _fsync_directory(self.path.parent)
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -103,11 +127,23 @@ def load_if_matching(
 
     A mismatched fingerprint means the checkpoint belongs to a *different*
     run configuration; it is left on disk untouched (the caller decides
-    whether to overwrite) but its contents are not reused.
+    whether to overwrite) but its contents are not reused.  A checkpoint
+    with *no* fingerprint field at all is not a resumable checkpoint —
+    that's a foreign or hand-edited file, and splicing from it (or crashing
+    with a bare ``KeyError`` deep in a resume path) would both be wrong, so
+    it is rejected loudly with :class:`CheckpointError`.
     """
     if store is None:
         return None
     state = store.load()
-    if state is None or state.get("fingerprint") != fingerprint:
+    if state is None:
+        return None
+    if "fingerprint" not in state:
+        raise CheckpointError(
+            f"checkpoint {store.path} has no fingerprint field — not a "
+            "resumable checkpoint; delete it (or CheckpointStore.clear) to "
+            "start over deliberately"
+        )
+    if state["fingerprint"] != fingerprint:
         return None
     return state

@@ -1,10 +1,11 @@
 """Bounded retry, wall-clock deadlines, and trial-failure records.
 
-Everything here is deliberately *deterministic*: backoff delays carry no
-jitter (experiments must replay bit-for-bit given a seed) and deadlines are
-cooperative (checked at every draw through :class:`DeadlineSource`), so a
-timed-out trial aborts at a well-defined point in its sample stream instead
-of being killed mid-arithmetic.
+Everything here is deliberately *deterministic*: backoff jitter is seeded
+(the delay schedule is a pure function of the policy, so experiments replay
+bit-for-bit given a seed) and deadlines are cooperative (checked at every
+draw through :class:`DeadlineSource`), so a timed-out trial aborts at a
+well-defined point in its sample stream instead of being killed
+mid-arithmetic.
 """
 
 from __future__ import annotations
@@ -51,13 +52,21 @@ ISOLATED_ERRORS: tuple[type[BaseException], ...] = (
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retry with deterministic (seeded-friendly, jitter-free)
-    exponential backoff.
+    """Bounded retry with deterministic, seeded-jitter exponential backoff.
 
     ``max_attempts`` counts the first try: ``max_attempts=3`` means up to
     two retries.  ``base_delay=0`` (the default) disables sleeping entirely,
     which is what simulation loops want — the backoff schedule still exists
     for callers that wrap real I/O.
+
+    ``jitter`` spreads each delay uniformly over ``[delay·(1 − jitter),
+    delay]``: many sessions retrying the same transient outage would
+    otherwise re-draw in lockstep and hammer the source again simultaneously
+    (the thundering herd the serve layer must avoid).  The jitter stream is
+    seeded by ``jitter_seed`` and indexed by the attempt number, so the
+    whole schedule is a pure function of the policy — two policies with the
+    same fields produce byte-identical delay sequences, and two sessions
+    with different ``jitter_seed`` values de-synchronise.
     """
 
     max_attempts: int = 3
@@ -65,6 +74,8 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay: float = 60.0
     retry_on: tuple[type[BaseException], ...] = TRANSIENT_ERRORS
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -73,12 +84,22 @@ class RetryPolicy:
             raise ValueError("delays must be non-negative")
         if self.multiplier < 1:
             raise ValueError(f"multiplier must be ≥ 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
     def delay(self, attempt: int) -> float:
         """Seconds to wait after failed attempt number ``attempt`` (1-based)."""
         if attempt < 1:
             raise ValueError(f"attempt is 1-based, got {attempt}")
-        return min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        base = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        # One throwaway generator per (seed, attempt): the draw depends only
+        # on the policy fields, never on shared RNG state, so concurrent
+        # sessions computing delays cannot perturb each other's schedules.
+        seq = np.random.SeedSequence(self.jitter_seed, spawn_key=(attempt,))
+        fraction = float(np.random.default_rng(seq).random())
+        return base * (1.0 - self.jitter * fraction)
 
 
 def run_with_retry(
@@ -181,10 +202,22 @@ class DeadlineSource(SampleSource):
         self._deadline.check()
         return self._base.draw_counts_poissonized(m)
 
+    @property
+    def deadline(self) -> Deadline:
+        """The shared deadline object (one per session, never copied)."""
+        return self._deadline
+
     def spawn(self) -> "DeadlineSource":
+        """A fresh sub-stream under the *same* :class:`Deadline` object.
+
+        Sharing (not copying) the parent deadline is load-bearing: a spawned
+        sub-source must not outlive the session that spawned it, so its
+        draws keep checking the original expiry, not a restarted one.
+        """
         return DeadlineSource(self._base.spawn(), self._deadline)
 
     def permuted(self, sigma: np.ndarray) -> "DeadlineSource":
+        """The σ-relabelled source, still under the shared parent deadline."""
         return DeadlineSource(self._base.permuted(sigma), self._deadline)
 
 

@@ -1,0 +1,167 @@
+"""Admission control: the service's global in-flight budget.
+
+Overload must shed load *deterministically* — a service that corrupts
+verdicts under pressure is worse than one that says no.  The controller
+enforces three independent limits:
+
+* **session slots** — at most ``max_sessions`` streams in flight;
+* **sample budget** — the sum of admitted sessions' worst-case sample caps
+  never exceeds ``max_inflight_samples`` (sessions × samples, the quantity
+  that actually bounds memory and sampling work);
+* **admission rate** — a token bucket refilled each round smooths bursts;
+  an admission costs one token.
+
+Requests wait in a bounded FIFO queue; a full queue sheds the newcomer
+with a structured :class:`Rejection` (never an exception — rejection is an
+outcome, not an error).  Admission is strict FIFO with head-of-line
+blocking: if the head request does not fit, nothing behind it is admitted
+either.  Skipping ahead would admit whichever small request happens to be
+queued — order would then depend on arrival interleaving, and replay
+identity would be lost.
+
+Conservation invariant (property-tested): at all times
+``admitted_units − released_units == inflight_units ≤ max_inflight_samples``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Limits for the admission controller."""
+
+    max_sessions: int = 64
+    #: Global sessions × samples budget.  Admission charges each session its
+    #: *worst-case* per-attempt cap (≈ 50M samples for an n=512 practical-
+    #: profile request), so the default admits roughly ten such sessions at
+    #: once; size it to taste for bigger domains.
+    max_inflight_samples: int = 500_000_000
+    queue_limit: int = 256
+    #: Tokens added per round (admissions allowed per round, amortised).
+    refill_tokens: int = 16
+    token_capacity: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_sessions < 1:
+            raise ValueError(f"max_sessions must be ≥ 1, got {self.max_sessions}")
+        if self.max_inflight_samples < 1:
+            raise ValueError(
+                f"max_inflight_samples must be ≥ 1, got {self.max_inflight_samples}"
+            )
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be ≥ 1, got {self.queue_limit}")
+        if self.refill_tokens < 1:
+            raise ValueError(f"refill_tokens must be ≥ 1, got {self.refill_tokens}")
+        if self.token_capacity < self.refill_tokens:
+            raise ValueError("token_capacity must be ≥ refill_tokens")
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """A deterministically shed request (an outcome, not an error)."""
+
+    request_id: str
+    reason: str
+
+    def canonical(self) -> dict:
+        return {"request_id": self.request_id, "reason": self.reason}
+
+
+class AdmissionController:
+    """Token-bucket admission over a bounded FIFO queue."""
+
+    def __init__(self, config: AdmissionConfig | None = None) -> None:
+        self.config = config if config is not None else AdmissionConfig()
+        self.tokens = self.config.token_capacity
+        self.inflight_units = 0
+        self.active_sessions = 0
+        self.admitted_units = 0
+        self.released_units = 0
+        self._queue: deque[tuple[str, int]] = deque()
+        self._inflight: dict[str, int] = {}
+
+    # -- intake ---------------------------------------------------------------
+
+    def submit(self, request_id: str, units: int) -> Rejection | None:
+        """Queue a request costing ``units`` samples; ``None`` means queued.
+
+        A request whose cost can *never* fit the global budget is rejected
+        immediately (queuing it would head-of-line-block the queue forever).
+        """
+        if units < 0:
+            raise ValueError(f"units must be non-negative, got {units}")
+        if request_id in self._inflight or any(r == request_id for r, _ in self._queue):
+            raise ValueError(f"duplicate request_id {request_id!r}")
+        if units > self.config.max_inflight_samples:
+            return Rejection(
+                request_id,
+                f"budget {units} exceeds the global in-flight cap "
+                f"{self.config.max_inflight_samples} — unservable at any load",
+            )
+        if len(self._queue) >= self.config.queue_limit:
+            return Rejection(
+                request_id,
+                f"wait queue full ({self.config.queue_limit}) — shed under backpressure",
+            )
+        self._queue.append((request_id, units))
+        return None
+
+    # -- per-round machinery --------------------------------------------------
+
+    def refill(self) -> None:
+        """Add this round's tokens (clamped at the bucket capacity)."""
+        self.tokens = min(self.config.token_capacity, self.tokens + self.config.refill_tokens)
+
+    def admit_ready(self) -> list[str]:
+        """Admit queued requests in strict FIFO order until a limit binds."""
+        admitted: list[str] = []
+        while self._queue:
+            request_id, units = self._queue[0]
+            if (
+                self.tokens < 1
+                or self.active_sessions >= self.config.max_sessions
+                or self.inflight_units + units > self.config.max_inflight_samples
+            ):
+                break  # head-of-line blocking keeps admission order replayable
+            self._queue.popleft()
+            self.tokens -= 1
+            self.active_sessions += 1
+            self.inflight_units += units
+            self.admitted_units += units
+            self._inflight[request_id] = units
+            admitted.append(request_id)
+        return admitted
+
+    def release(self, request_id: str) -> None:
+        """Return a retired session's slot and sample units to the pool.
+
+        Called on *every* retirement — verdict, degraded, or evicted — so
+        tokens-worth of budget is conserved across evictions too.
+        """
+        units = self._inflight.pop(request_id)
+        self.active_sessions -= 1
+        self.inflight_units -= units
+        self.released_units += units
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or in flight."""
+        return not self._queue and not self._inflight
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any conservation invariant is violated."""
+        assert 0 <= self.inflight_units <= self.config.max_inflight_samples
+        assert 0 <= self.active_sessions <= self.config.max_sessions
+        assert 0 <= self.tokens <= self.config.token_capacity
+        assert self.admitted_units - self.released_units == self.inflight_units
+        assert sum(self._inflight.values()) == self.inflight_units
+        assert len(self._inflight) == self.active_sessions

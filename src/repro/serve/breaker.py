@@ -1,0 +1,77 @@
+"""Per-source circuit breakers.
+
+Sessions carry a ``source_id`` naming the upstream they sample from.  When
+one upstream starts failing repeatedly (injected stream failures, corrupt
+batches, deadline overruns), retrying every session against it burns
+budget on a source that is plainly down.  The breaker watches *consecutive*
+failures per source and trips after ``failure_threshold`` of them:
+
+* **CLOSED** — healthy; traffic flows.
+* **OPEN** — tripped; sessions on this source wait (they are *not*
+  evicted — their own deadlines and retry budgets decide that).  After
+  ``cooldown_rounds`` service rounds the breaker moves to HALF_OPEN.
+* **HALF_OPEN** — exactly one probe session is allowed through; its
+  success closes the breaker, its failure re-opens it for another cooldown.
+
+Cooldowns are counted in service rounds (virtual time), so breaker
+behaviour replays identically under a fixed seed.
+"""
+
+from __future__ import annotations
+
+CLOSED = "CLOSED"
+OPEN = "OPEN"
+HALF_OPEN = "HALF_OPEN"
+
+
+class CircuitBreaker:
+    """One source's breaker: consecutive-failure trip with scheduled re-probe."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown_rounds: int = 2) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be ≥ 1, got {failure_threshold}")
+        if cooldown_rounds < 1:
+            raise ValueError(f"cooldown_rounds must be ≥ 1, got {cooldown_rounds}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_rounds = cooldown_rounds
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._cooldown_left = 0
+        self._probe_inflight = False
+
+    def tick(self) -> None:
+        """Advance one service round (counts down an open breaker's cooldown)."""
+        if self.state == OPEN:
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self.state = HALF_OPEN
+                self._probe_inflight = False
+
+    def allow(self) -> bool:
+        """May a session on this source start (or continue) an attempt now?
+
+        In HALF_OPEN only the first caller per round window gets through —
+        it becomes the probe whose outcome decides the breaker's fate.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+        self.state = CLOSED
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        self._probe_inflight = False
+        if self.state == HALF_OPEN or self.consecutive_failures >= self.failure_threshold:
+            if self.state != OPEN:
+                self.trips += 1
+            self.state = OPEN
+            self._cooldown_left = self.cooldown_rounds
+            self.consecutive_failures = 0

@@ -68,3 +68,25 @@ class TestHelpers:
         assert load_if_matching(store, {"n": 1})["rows"] == [7]
         assert load_if_matching(store, {"n": 2}) is None
         assert load_if_matching(None, {"n": 1}) is None
+
+    def test_load_if_matching_rejects_missing_fingerprint(self, tmp_path):
+        # A foreign/hand-edited file without a fingerprint is not a
+        # resumable checkpoint: splicing from it (or dying with a bare
+        # KeyError deep in a resume path) would both be wrong.
+        store = CheckpointStore(tmp_path / "s.json")
+        store.save({"rows": [7]})
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            load_if_matching(store, {"n": 1})
+        # The file is left on disk for deliberate inspection/clearing.
+        assert store.exists()
+
+    def test_save_survives_interruption_of_the_temp_file(self, tmp_path):
+        # The durable-save path (fsync file, rename, fsync directory) must
+        # still behave atomically: a failed save leaves no droppings and
+        # the prior state intact.
+        store = CheckpointStore(tmp_path / "s.json")
+        store.save({"fingerprint": {"n": 1}, "rows": [1]})
+        with pytest.raises(TypeError):
+            store.save({"bad": object()})  # json.dump raises mid-write
+        assert store.load() == {"fingerprint": {"n": 1}, "rows": [1]}
+        assert [p.name for p in tmp_path.iterdir()] == ["s.json"]

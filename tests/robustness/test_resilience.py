@@ -63,6 +63,41 @@ class TestRetryPolicy:
             run_with_retry(crashes, RetryPolicy(max_attempts=5))
         assert calls == [1]
 
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_jitter_stays_within_the_documented_band(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=0.5, multiplier=2.0, max_delay=10.0,
+            jitter=0.4, jitter_seed=3,
+        )
+        for attempt in range(1, 8):
+            base = min(10.0, 0.5 * 2.0 ** (attempt - 1))
+            delay = policy.delay(attempt)
+            assert base * (1.0 - 0.4) <= delay <= base
+
+    def test_jitter_schedule_is_byte_identical_under_the_same_seed(self):
+        fields = dict(
+            max_attempts=6, base_delay=1.0, multiplier=2.0, max_delay=60.0,
+            jitter=0.5, jitter_seed=42,
+        )
+        first = [RetryPolicy(**fields).delay(a) for a in range(1, 6)]
+        second = [RetryPolicy(**fields).delay(a) for a in range(1, 6)]
+        # Exact float equality: the schedule is a pure function of the
+        # policy fields, independent of any shared RNG state.
+        assert first == second
+        jittered = [RetryPolicy(**{**fields, "jitter_seed": 43}).delay(a)
+                    for a in range(1, 6)]
+        assert first != jittered  # different seeds de-synchronise sessions
+
+    def test_zero_jitter_leaves_the_schedule_unchanged(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, jitter=0.0,
+                             jitter_seed=99)
+        assert [policy.delay(a) for a in (1, 2, 3)] == [1.0, 2.0, 4.0]
+
     def test_backoff_sleeps_deterministically(self):
         slept = []
 
@@ -114,9 +149,31 @@ class TestDeadlineSource:
         source = DeadlineSource(
             SampleSource(DiscreteDistribution.uniform(8), rng=0), deadline
         )
+        assert source.deadline is deadline
+        assert source.spawn().deadline is deadline  # shared, never copied
         now[0] = 20.0
         with pytest.raises(TrialTimeout):
             source.spawn().draw(1)
+
+    def test_permuted_shares_deadline(self):
+        import numpy as np
+
+        now = [0.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        source = DeadlineSource(
+            SampleSource(DiscreteDistribution.uniform(8), rng=0), deadline
+        )
+        sigma = np.arange(8)[::-1].copy()
+        relabelled = source.permuted(sigma)
+        assert relabelled.deadline is deadline
+        relabelled.draw(4)  # alive before expiry
+        now[0] = 6.0
+        # The σ-relabelled source dies with its parent session's deadline —
+        # a mid-sieve subdomain draw cannot outlive the trial.
+        with pytest.raises(TrialTimeout):
+            relabelled.draw(1)
+        with pytest.raises(TrialTimeout):
+            source.draw(1)
 
 
 class TestTrialPolicy:
