@@ -22,6 +22,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from repro.core.backends import BACKENDS, DEFAULT_BACKEND
 from repro.core.config import TesterConfig
 from repro.robustness.checkpoint import load_if_matching, resolve_store
 
@@ -55,6 +56,29 @@ def bench_workers(default: int | None = None) -> int | None:
 
 #: Resolved once so every benchmark honours the same setting.
 WORKERS = bench_workers()
+
+
+def bench_backend(default: str = DEFAULT_BACKEND) -> str:
+    """Tester backend for benchmark runs, from ``REPRO_BACKEND``.
+
+    Unset/empty → ``default``.  Unlike ``REPRO_WORKERS`` this knob *does*
+    change the numbers (backends have different budgets and verdict paths),
+    which is exactly the point: CI's backend-matrix job reruns the generic
+    benchmarks under each backend by exporting this variable.  E25 ignores
+    it — that benchmark always measures both backends head-to-head.
+    """
+    raw = os.environ.get("REPRO_BACKEND", "").strip()
+    if not raw:
+        return default
+    if raw not in BACKENDS:
+        raise SystemExit(
+            f"REPRO_BACKEND must be one of {BACKENDS}, got {raw!r}"
+        )
+    return raw
+
+
+#: Resolved once so every benchmark honours the same setting.
+BACKEND = bench_backend()
 
 
 def check(label: str, condition: bool) -> None:

@@ -8,7 +8,7 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from _common import CONFIG, EPS, N, TRIALS, WORKERS, check
+from _common import BACKEND, CONFIG, EPS, N, TRIALS, WORKERS, check
 
 from repro.experiments import acceptance_probability
 from repro.experiments.report import print_experiment
@@ -22,7 +22,7 @@ def run_grid():
         for family in ("staircase", "random-histogram"):
             est = acceptance_probability(
                 BoundWorkload(family, N, k, EPS),
-                HistogramTester(k, EPS, CONFIG),
+                HistogramTester(k, EPS, CONFIG, BACKEND),
                 trials=TRIALS,
                 rng=k,
                 workers=WORKERS,
@@ -34,7 +34,8 @@ def run_grid():
 def test_e02_completeness(benchmark):
     rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
     print_experiment(
-        f"E2: completeness acceptance rate (n={N}, eps={EPS}, {TRIALS} trials)",
+        f"E2: completeness acceptance rate "
+        f"(n={N}, eps={EPS}, backend={BACKEND}, {TRIALS} trials)",
         ["k", "family", "accept rate", "99% CI low", "samples/trial"],
         rows,
     )

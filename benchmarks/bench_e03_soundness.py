@@ -9,7 +9,7 @@ import zlib
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from _common import CONFIG, EPS, K, N, TRIALS, WORKERS, check
+from _common import BACKEND, CONFIG, EPS, K, N, TRIALS, WORKERS, check
 
 from repro.experiments import rejection_probability, soundness_workloads
 from repro.experiments.report import print_experiment
@@ -23,7 +23,7 @@ def run_grid():
         for eps in (EPS, EPS / 2):
             est = rejection_probability(
                 BoundWorkload(w.name, N, K, eps),
-                HistogramTester(K, eps, CONFIG),
+                HistogramTester(K, eps, CONFIG, BACKEND),
                 trials=TRIALS,
                 # crc32, not hash(): str hashing is salted per process, and
                 # benchmark seeds must be stable across runs.
@@ -37,7 +37,8 @@ def run_grid():
 def test_e03_soundness(benchmark):
     rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
     print_experiment(
-        f"E3: soundness rejection rate (n={N}, k={K}, {TRIALS} trials)",
+        f"E3: soundness rejection rate "
+        f"(n={N}, k={K}, backend={BACKEND}, {TRIALS} trials)",
         ["workload", "eps", "reject rate", "99% CI low", "samples/trial"],
         rows,
     )

@@ -1,0 +1,103 @@
+"""CI backend-matrix gate: error calibration + the cdkl22 sample advantage.
+
+Compares a freshly produced ``BENCH_e25.json`` (see
+``bench_e25_backend_matrix.py``) against
+``benchmarks/baselines/BENCH_e25_baseline.json``.  Three gates:
+
+* **calibration** — the fresh run's worst per-cell error count must stay
+  within its own exact binomial bound (per-trial rate 1/3 at flake
+  probability 1e-6).  Absolute: correctness never takes a hardware factor;
+* **crossover** — the cdkl22/pods16 mean-sample ratio at the fresh run's
+  largest n must stay at or below 0.6 — the near-optimal backend must keep
+  *measurably* beating the pods16 schedule, not just tie it;
+* **baseline drift** — at every n the fresh grid shares with the baseline
+  grid, the fresh ratio must stay within ``--headroom`` (default 1.5×) of
+  the baseline ratio.  Sample draws are seed-deterministic, so real drift
+  here means a budget-schedule change quietly eroded the advantage.
+
+Usage::
+
+    python benchmarks/check_backend_regression.py BENCH_e25.json
+        [--baseline PATH] [--headroom 1.5]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_e25_baseline.json"
+
+#: The absolute crossover bar: cdkl22 must use at most this fraction of the
+#: pods16 empirical samples at the largest measured n.
+CROSSOVER_CEILING = 0.6
+
+
+def load(path: "str | Path") -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if "metrics" not in data or "bench" not in data:
+        raise SystemExit(f"{path}: not a BENCH_*.json payload")
+    return data
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly produced BENCH_e25.json")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--headroom", type=float, default=1.5,
+                        help="allowed ratio drift vs baseline (default 1.5)")
+    args = parser.parse_args(argv)
+    if args.headroom <= 0:
+        raise SystemExit(f"headroom must be positive, got {args.headroom}")
+
+    fresh, base = load(args.fresh), load(args.baseline)
+    if fresh["bench"] != base["bench"]:
+        raise SystemExit(
+            f"bench mismatch: fresh={fresh['bench']!r} baseline={base['bench']!r}"
+        )
+
+    failures = []
+    fm, bm = fresh["metrics"], base["metrics"]
+
+    worst = fm.get("worst_cell_errors")
+    bound = fm.get("max_errors_allowed")
+    if worst is None or bound is None:
+        raise SystemExit("fresh payload missing error metrics")
+    verdict = "ok" if worst <= bound else "REGRESSION"
+    print(f"calibration gate: worst cell {worst} errors vs binomial bound "
+          f"{bound}  {verdict}")
+    if worst > bound:
+        failures.append("calibration")
+
+    ratio = fm.get("sample_ratio_largest_n", float("inf"))
+    verdict = "ok" if ratio <= CROSSOVER_CEILING else "REGRESSION"
+    print(f"crossover gate  : ratio {ratio:.4f} at largest n vs ceiling "
+          f"{CROSSOVER_CEILING}  {verdict}")
+    if ratio > CROSSOVER_CEILING:
+        failures.append("crossover")
+
+    fresh_ratios = fm.get("sample_ratios", {})
+    base_ratios = bm.get("sample_ratios", {})
+    shared = sorted(set(fresh_ratios) & set(base_ratios), key=int)
+    if not shared:
+        print("baseline gate   : no shared grid points with baseline  REGRESSION")
+        failures.append("baseline-grid")
+    for n in shared:
+        ceiling = args.headroom * base_ratios[n]
+        got = fresh_ratios[n]
+        verdict = "ok" if got <= ceiling else "REGRESSION"
+        print(f"baseline gate   : n={n} ratio {got:.4f} vs ceiling "
+              f"{ceiling:.4f}  {verdict}")
+        if got > ceiling:
+            failures.append(f"baseline-drift@n={n}")
+
+    if failures:
+        print(f"FAIL: {failures}")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

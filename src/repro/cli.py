@@ -32,6 +32,7 @@ import time
 from collections import OrderedDict
 from typing import Sequence
 
+from repro.core.backends import BACKENDS, DEFAULT_BACKEND, backend_budget
 from repro.core.budget import budget_table_row
 from repro.core.config import TesterConfig
 from repro.core.tester import STAGE_ORDER, test_histogram
@@ -50,7 +51,9 @@ from repro.observability.trace import (
 from repro.util.rng import ensure_rng
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+def _add_common(
+    parser: argparse.ArgumentParser, *, backends: Sequence[str] = BACKENDS
+) -> None:
     parser.add_argument("--n", type=int, default=10_000, help="domain size")
     parser.add_argument("--k", type=int, default=8, help="histogram pieces")
     parser.add_argument("--eps", type=float, default=0.25, help="TV proximity")
@@ -67,6 +70,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="auto",
         help="projection DP engine for the check stage "
         "(execution knob only; never changes the verdict)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(backends),
+        default=DEFAULT_BACKEND,
+        help="tester backend (changes budgets and verdicts; part of sweep "
+        "fingerprints, unlike --engine/--workers)",
     )
 
 
@@ -123,9 +133,10 @@ def _cmd_test(args: argparse.Namespace) -> int:
     tracer = RecordingTracer() if args.trace else NULL_TRACER
     verdict = test_histogram(
         dist, args.k, args.eps, config=_config(args), rng=args.seed + 1,
-        projection_engine=args.engine, trace=tracer,
+        backend=args.backend, projection_engine=args.engine, trace=tracer,
     )
     print(f"workload  : {args.workload} ({REGISTRY[args.workload].nature})")
+    print(f"backend   : {args.backend}")
     print(f"verdict   : {'ACCEPT' if verdict.accept else 'REJECT'} (stage: {verdict.stage})")
     print(f"reason    : {verdict.reason}")
     print(f"samples   : {verdict.samples_used:,}")
@@ -140,7 +151,8 @@ def _cmd_select(args: argparse.Namespace) -> int:
     dist = make(args.workload, args.n, args.k, args.eps, rng=args.seed)
     result = select_k(
         dist, args.eps, k_max=args.k_max, repeats=args.repeats,
-        config=_config(args), rng=args.seed + 1, projection_engine=args.engine,
+        config=_config(args), rng=args.seed + 1, backend=args.backend,
+        projection_engine=args.engine,
     )
     print(f"workload   : {args.workload}")
     print(f"selected k : {result.k}")
@@ -152,6 +164,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
 def _cmd_budget(args: argparse.Namespace) -> int:
     row = budget_table_row(args.n, args.k, args.eps)
+    config = _config(args)
     print(
         format_table(
             ["quantity", "samples"],
@@ -161,6 +174,11 @@ def _cmd_budget(args: argparse.Namespace) -> int:
                 ["ILR12", row["ilr12"]],
                 ["CDGR16", row["cdgr16"]],
                 ["learn offline", row["learn_offline"]],
+            ]
+            + [
+                [f"{backend} worst case ({args.profile})",
+                 int(backend_budget(backend, args.n, args.k, args.eps, config))]
+                for backend in BACKENDS
             ],
         )
     )
@@ -169,7 +187,7 @@ def _cmd_budget(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     workload = BoundWorkload(args.workload, args.n, args.k, args.eps)
-    tester = HistogramTester(args.k, args.eps, _config(args))
+    tester = HistogramTester(args.k, args.eps, _config(args), args.backend)
 
     def timed(workers: int | None):
         start = time.perf_counter()
@@ -189,9 +207,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         gen = ensure_rng(args.seed)
         verdict = test_histogram(
             workload(gen), args.k, args.eps, config=_config(args),
-            rng=args.seed, projection_engine=args.engine,
+            rng=args.seed, backend=args.backend, projection_engine=args.engine,
         )
-        print(f"stage timings (1 representative trial, engine={args.engine}):")
+        print(f"stage timings (1 representative trial, "
+              f"backend={args.backend}, engine={args.engine}):")
         _print_stage_table(verdict)
     if args.compare_serial:
         serial_estimate, serial_elapsed = timed(None)
@@ -224,6 +243,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
         workers=args.workers,
+        backend=args.backend,
         trace=tracer,
     )
     rows = [
@@ -255,6 +275,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         eps=args.eps,
         fault_rate=args.fault_rate if args.chaos else 0.0,
         seed=args.seed,
+        backend=args.backend,
     )
     service = TesterService(ServiceConfig(tester=_config(args), workers=args.workers))
     for request in build_requests(chaos):
@@ -411,7 +432,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--sessions", type=int, default=40, help="number of stream sessions to submit"
     )
-    _add_common(p_serve)
+    # Serve additionally accepts "mixed": alternate backends per session to
+    # drill the same-shape, different-backend batch-grouping path.
+    _add_common(p_serve, backends=tuple(BACKENDS) + ("mixed",))
     p_serve.add_argument(
         "--chaos",
         action="store_true",

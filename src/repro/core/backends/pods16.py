@@ -1,0 +1,18 @@
+"""The PODS'16 backend — Algorithm 1 of the source paper.
+
+The algorithm itself lives in :mod:`repro.core.tester` (stages) and its
+closed-form budget in :mod:`repro.core.budget`; this module is the thin
+adapter that gives the registry a uniform surface over both backends.
+"""
+
+from __future__ import annotations
+
+from repro.core.budget import algorithm1_budget
+from repro.core.config import TesterConfig
+
+
+def pods16_budget(
+    n: int, k: int, eps: float, config: TesterConfig | None = None
+) -> float:
+    """Worst-case sample usage of Algorithm 1 (see ``algorithm1_budget``)."""
+    return algorithm1_budget(n, k, eps, config)

@@ -88,6 +88,40 @@ class TesterConfig:
     #: processes).  Execution-only: results are bit-identical at any value,
     #: so it never enters budgets, thresholds, or checkpoint fingerprints.
     workers: int | None = None
+    #: -- cdkl22 backend constants (see :mod:`repro.core.backends.cdkl22`) --
+    #: Learning accuracy ``ε_learn = ε · cdkl22_learner_eps_fraction``.  The
+    #: testing-by-learning reduction only needs ``D̂`` accurate enough to
+    #: project onto ``H_k``, not to survive per-interval sieving, so this is
+    #: much coarser than ``learner_eps_fraction`` — the learner is the
+    #: n-independent term of the budget, so coarsening it matters at small n.
+    cdkl22_learner_eps_fraction: float = 1.0 / 16.0
+    #: Upper cap on the final test's ``ε'/ε`` ratio.  The effective ratio is
+    #: ``min(cap, 1 − trimmed-mass share − truncation share)`` and never
+    #: below the pods16 ratio (``final_eps_fraction``) — see
+    #: :meth:`cdkl22_final_eps`.
+    cdkl22_final_eps_fraction: float = 0.85
+    #: Testing-by-learning gate: reject at the check stage when the learned
+    #: ``D̂`` is farther than ``cdkl22_check_fraction · ε`` from ``H_k``
+    #: (breakpoints on partition borders).  Generous by design: it only has
+    #: to pass clear completeness cases (learn error + boundary snapping
+    #: ≈ 0.3ε), while grossly non-histogram inputs exit sample-free.
+    cdkl22_check_fraction: float = 0.5
+    #: The trimmed final statistic drops the top
+    #: ``ceil(cdkl22_trim_factor · (k−1))`` per-interval statistics — a
+    #: k-histogram has at most ``k−1`` breakpoint intervals, which is exactly
+    #: the contamination the pods16 sieve spends ``Θ(√n/α²)`` samples to
+    #: remove and the trim removes for free.
+    cdkl22_trim_factor: float = 1.0
+    #: Only intervals with reference mass ≤ ``cdkl22_trim_mass_factor / b``
+    #: are trim-eligible: an adversary cannot hide farness in a heavy
+    #: interval, so the trim discards at most
+    #: ``trim_count · factor / b`` of TV evidence (absorbed by ε').
+    cdkl22_trim_mass_factor: float = 3.0
+    #: Adaptive schedule: when the stage-0 statistic lands within
+    #: ``cdkl22_guard_sigmas · √(2·|A_ε|)`` of the threshold, redraw fresh
+    #: counts at ``cdkl22_escalation_factor × m`` and decide there.
+    cdkl22_escalation_factor: float = 3.0
+    cdkl22_guard_sigmas: float = 3.0
 
     #: Multiplicative factors: must be strictly positive (a zero or negative
     #: factor silently produces nonsense budgets downstream).
@@ -101,6 +135,8 @@ class TesterConfig:
         "sieve_residual_factor",
         "sieve_rounds_factor",
         "budget_scale",
+        "cdkl22_trim_mass_factor",
+        "cdkl22_guard_sigmas",
     )
     #: Fractions of ε (or of an expectation): must lie in (0, 1].
     _FRACTION_FIELDS = (
@@ -110,6 +146,9 @@ class TesterConfig:
         "final_eps_fraction",
         "check_tolerance_fraction",
         "sieve_alpha_fraction",
+        "cdkl22_learner_eps_fraction",
+        "cdkl22_final_eps_fraction",
+        "cdkl22_check_fraction",
     )
 
     def __post_init__(self) -> None:
@@ -123,6 +162,15 @@ class TesterConfig:
                 raise ValueError(f"{name} must be in (0, 1], got {value}")
         if self.chi2_repeats is not None and self.chi2_repeats < 1:
             raise ValueError(f"chi2_repeats must be positive, got {self.chi2_repeats}")
+        if self.cdkl22_trim_factor < 0:
+            raise ValueError(
+                f"cdkl22_trim_factor must be non-negative, got {self.cdkl22_trim_factor}"
+            )
+        if self.cdkl22_escalation_factor < 1.0:
+            raise ValueError(
+                "cdkl22_escalation_factor must be at least 1, "
+                f"got {self.cdkl22_escalation_factor}"
+            )
         if self.workers is not None:
             if isinstance(self.workers, bool) or not isinstance(self.workers, int):
                 raise ValueError(f"workers must be an int or None, got {self.workers!r}")
@@ -267,6 +315,61 @@ class TesterConfig:
     def check_tolerance(self, eps: float) -> float:
         """Step-10 tolerance for closeness of ``D̂`` to ``H_k`` on ``G``."""
         return eps * self.check_tolerance_fraction
+
+    # -- cdkl22 backend derived quantities ----------------------------------
+
+    def cdkl22_learner_eps(self, eps: float) -> float:
+        """Learning accuracy of the cdkl22 testing-by-learning reduction."""
+        return eps * self.cdkl22_learner_eps_fraction
+
+    def cdkl22_learner_samples(self, num_intervals: int, eps: float) -> int:
+        """Learner budget at the coarser cdkl22 accuracy, ``O(K/ε_learn²)``."""
+        if num_intervals < 1:
+            raise ValueError("need at least one interval")
+        eps_learn = self.cdkl22_learner_eps(eps)
+        return max(
+            1,
+            math.ceil(
+                self.budget_scale * self.learner_sample_factor * num_intervals / eps_learn**2
+            ),
+        )
+
+    def cdkl22_trim_count(self, k: int) -> int:
+        """How many light intervals the trimmed statistic may drop."""
+        _validate(k, 1.0)
+        return int(math.ceil(self.cdkl22_trim_factor * max(0, k - 1)))
+
+    def cdkl22_trim_mass_cap(self, k: int, eps: float) -> float:
+        """Reference-mass ceiling for trim eligibility (``factor / b``)."""
+        return self.cdkl22_trim_mass_factor / self.partition_b(k, eps)
+
+    def cdkl22_final_eps(self, k: int, eps: float) -> float:
+        """The cdkl22 final test's effective distance parameter ``ε'``.
+
+        The reference ``D*`` lies in ``H_k``, so soundness keeps the full
+        ``ε`` minus what the statistic provably cannot see: the trimmed
+        intervals' mass (≤ ``trim_count · trim_mass_factor / b``) and the
+        ``A_ε`` truncation tail.  Capped above by
+        ``cdkl22_final_eps_fraction`` and below by the pods16 ratio — the
+        backend is never run with a weaker final test than pods16's.
+        """
+        trimmed_share = (
+            self.cdkl22_trim_count(k) * self.cdkl22_trim_mass_factor
+        ) / (self.partition_b(k, eps) * eps)
+        fraction = min(
+            self.cdkl22_final_eps_fraction, 1.0 - trimmed_share - self.chi2_truncation
+        )
+        return max(self.final_eps(eps), fraction * eps)
+
+    def cdkl22_check_tolerance(self, eps: float) -> float:
+        """Testing-by-learning gate tolerance for ``dTV(D̂, H_k)``."""
+        return eps * self.cdkl22_check_fraction
+
+    def cdkl22_escalated_m(self, m: float) -> int:
+        """Stage-1 batch size after an ambiguous stage-0 statistic."""
+        if m <= 0:
+            raise ValueError(f"batch size must be positive, got {m}")
+        return int(math.ceil(self.cdkl22_escalation_factor * m))
 
 
 # Pytest collects classes named Test*; this is a config object, not a suite.

@@ -27,17 +27,27 @@ individual steps so a service multiplexing many sessions
 compute a whole batch of per-interval statistics in one vectorized pass.
 :func:`test_histogram` — the single-call API — is a thin wrapper that runs
 the same steps in order, so the two paths cannot drift.
+
+Two *backends* share this stepped skeleton (see :mod:`repro.core.backends`):
+``backend="pods16"`` is Algorithm 1 verbatim as above; ``backend="cdkl22"``
+is the near-optimal testing-by-learning variant — no sieve, the check stage
+projects ``D̂`` onto ``H_k`` and the final χ² test runs against that
+projection with a trimmed statistic and an adaptive two-stage sample
+schedule (``finish_final_test`` may return ``None`` = "escalate: draw a
+fresh, larger batch and call me again").
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator, Optional
 
 import numpy as np
 
+from repro.core.backends import DEFAULT_BACKEND, backend_budget, validate_backend
+from repro.core.backends import cdkl22 as _cdkl22
 from repro.core.chi2 import Chi2Result, active_mask, median_interval_statistics
 from repro.core.config import TesterConfig
 from repro.core.learner import learn_histogram
@@ -45,7 +55,11 @@ from repro.core.partition import approx_partition
 from repro.core.sieve import SieveResult, sieve_intervals
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.histogram import Histogram
-from repro.distributions.projection import exists_close_histogram
+from repro.distributions.projection import (
+    Projection,
+    coarse_flattening_projection,
+    exists_close_histogram,
+)
 from repro.distributions.sampling import SampleSource, as_source
 from repro.observability.ledger import SampleLedger
 from repro.observability.metrics import get_metrics
@@ -62,6 +76,12 @@ STAGE_ORDER = ("partition", "learn", "sieve", "check", "chi2", "plugin")
 #: :func:`~repro.distributions.projection.exists_close_histogram`; the serve
 #: layer injects a caching/fallback wrapper with the same signature.
 CheckOracle = Callable[..., bool]
+
+#: Signature of the cdkl22 projection oracle: ``(pmf, partition, k, kept,
+#: engine=...) -> Projection``.  The default is
+#: :func:`~repro.distributions.projection.coarse_flattening_projection`; the
+#: serve layer injects a caching/fallback wrapper with the same signature.
+ProjectOracle = Callable[..., Projection]
 
 
 @dataclass(frozen=True)
@@ -150,13 +170,21 @@ class _StageLog:
 
 @dataclass(frozen=True)
 class FinalTestPlan:
-    """Everything a batched executor needs for one session's final χ² test."""
+    """Everything a batched executor needs for one session's final χ² test.
+
+    ``backend``/``stage`` carry the cdkl22 adaptive schedule: when
+    ``finish_final_test`` escalates, the pipeline's *current* plan (exposed
+    as :attr:`TesterPipeline.final_plan`) is replaced with a stage-1 copy at
+    the larger ``m`` — a batch executor must re-read it before re-drawing.
+    """
 
     m: float
     repeats: int
     eps_final: float
     reference_pmf: np.ndarray
     mask: np.ndarray
+    backend: str = DEFAULT_BACKEND
+    stage: int = 0
 
 
 class TesterPipeline:
@@ -202,8 +230,10 @@ class TesterPipeline:
         *,
         config: TesterConfig | None = None,
         rng: RandomState = None,
+        backend: str = DEFAULT_BACKEND,
         projection_engine: str = "auto",
         check_oracle: CheckOracle | None = None,
+        project_oracle: ProjectOracle | None = None,
         trace: Tracer = NULL_TRACER,
     ) -> None:
         if k < 1:
@@ -213,9 +243,13 @@ class TesterPipeline:
         self.k = k
         self.eps = eps
         self.config = config if config is not None else TesterConfig.practical()
+        self.backend = validate_backend(backend)
         self.engine = projection_engine
         self.check_oracle = (
             check_oracle if check_oracle is not None else exists_close_histogram
+        )
+        self.project_oracle = (
+            project_oracle if project_oracle is not None else coarse_flattening_projection
         )
         self.trace = trace
         self.source = as_source(dist, rng)
@@ -229,20 +263,19 @@ class TesterPipeline:
         self._log: _StageLog | None = None
         self._final: _StageHandle | None = None
         self._plan: FinalTestPlan | None = None
+        self._reference: Projection | None = None  # cdkl22: D* ∈ H_k
 
     # -- admission metadata ---------------------------------------------------
 
     def budget_cap(self) -> int | None:
-        """The Algorithm 1 sample cap for this instance (``None`` when the
+        """The backend's sample cap for this instance (``None`` when the
         trivial/plugin regimes apply and the formula does not)."""
         if self.k >= self.n:
             return 0
         b = self.config.partition_b(self.k, self.eps)
         if 2.0 * b + 2.0 >= self.n / 2.0:
             return None
-        from repro.core.budget import algorithm1_budget
-
-        return int(algorithm1_budget(self.n, self.k, self.eps, self.config))
+        return int(backend_budget(self.backend, self.n, self.k, self.eps, self.config))
 
     # -- stepped stages -------------------------------------------------------
 
@@ -290,10 +323,10 @@ class TesterPipeline:
                 ),
             )
 
-        from repro.core.budget import algorithm1_budget
-
         self._b = b
-        self._ledger = SampleLedger(budget_cap=int(algorithm1_budget(n, k, eps, self.config)))
+        self._ledger = SampleLedger(
+            budget_cap=int(backend_budget(self.backend, n, k, eps, self.config))
+        )
         self._log = _StageLog(self.source, self.trace, self._ledger)
         return None
 
@@ -306,17 +339,37 @@ class TesterPipeline:
             span.set(intervals=len(self.partition))
 
     def run_learn(self) -> None:
-        """Stage 2: learn [line 4]."""
+        """Stage 2: learn [line 4].  The cdkl22 reduction runs the same
+        learner at its coarser accuracy (``ε/16`` vs ``ε/40``) — projecting
+        onto ``H_k`` needs far less precision than per-interval sieving."""
+        if self.backend == "cdkl22":
+            num_samples = self.config.cdkl22_learner_samples(len(self.partition), self.eps)
+        else:
+            num_samples = self.config.learner_samples(len(self.partition), self.eps)
         with self._log.stage("learn"):
             self.learned = learn_histogram(
-                self.source,
-                self.partition,
-                self.config.learner_samples(len(self.partition), self.eps),
-                self.trace,
+                self.source, self.partition, num_samples, self.trace
             )
 
     def run_sieve(self) -> Verdict | None:
-        """Stage 3: sieve [lines 6–8]; returns a rejecting verdict or None."""
+        """Stage 3: sieve [lines 6–8]; returns a rejecting verdict or None.
+
+        The cdkl22 backend has no sieve stage at all — breakpoint-interval
+        contamination is removed by the trimmed final statistic instead —
+        so it keeps every interval without opening a stage (no span, no
+        ledger entry, zero samples).
+        """
+        if self.backend == "cdkl22":
+            self.sieve = SieveResult(
+                rejected=False,
+                reason="cdkl22: sieve replaced by the trimmed final statistic",
+                kept=np.ones(len(self.partition), dtype=bool),
+                removed=np.empty(0, dtype=np.int64),
+                rounds=0,
+                samples_used=0,
+                final_statistic=float("nan"),
+            )
+            return None
         with self._log.stage("sieve") as span:
             if self.config.sieve_enabled:
                 self.sieve = sieve_intervals(
@@ -349,7 +402,14 @@ class TesterPipeline:
         Sample-free (pure DP over the learned pmf), but logged like every
         other stage so the per-stage views cover all executed work on all
         exit paths.
+
+        pods16 asks the yes/no Step-10 question against ``D̂``.  cdkl22
+        computes the actual projection ``D* ∈ H_k`` (the testing-by-learning
+        gate): reject sample-free when ``D̂`` is far from ``H_k``, otherwise
+        keep ``D*`` as the final test's reference.
         """
+        if self.backend == "cdkl22":
+            return self._run_check_cdkl22()
         with self._log.stage("check") as span:
             close = self.check_oracle(
                 self.learned.to_pmf(),
@@ -371,19 +431,58 @@ class TesterPipeline:
             )
         return None
 
+    def _run_check_cdkl22(self) -> Verdict | None:
+        tolerance = self.config.cdkl22_check_tolerance(self.eps)
+        with self._log.stage("check") as span:
+            projection = self.project_oracle(
+                self.learned.to_pmf(),
+                self.partition,
+                self.k,
+                self.sieve.kept,
+                engine=self.engine,
+            )
+            self._reference = projection
+            close = projection.distance <= tolerance
+            span.set(close=bool(close), distance=float(projection.distance))
+        if not close:
+            return self._exit(
+                accept=False,
+                stage="check",
+                reason=(
+                    f"testing-by-learning gate: learned distribution is "
+                    f"{projection.distance:.4g} from H_k on the partition "
+                    f"borders (> {tolerance:.4g})"
+                ),
+            )
+        return None
+
     # -- stage 5: final χ² test [line 13], stepped ---------------------------
 
     def begin_final_test(self) -> FinalTestPlan:
-        """Open the chi2 stage and fix the test parameters."""
-        eps_final = self.config.final_eps(self.eps)
-        kept_points = self.partition.restrict_mask(list(np.flatnonzero(self.sieve.kept)))
-        ref = self.learned.to_pmf()
+        """Open the chi2 stage and fix the test parameters.
+
+        pods16 tests against the learned ``D̂`` restricted to the kept
+        domain at ``ε' = 13ε/30``; cdkl22 tests against the projection
+        ``D* ∈ H_k`` over the whole domain at its larger effective ``ε'``.
+        """
+        if self.backend == "cdkl22":
+            eps_final = self.config.cdkl22_final_eps(self.k, self.eps)
+            ref = self._reference.histogram.to_pmf()
+            mask = active_mask(ref, eps_final, self.config.chi2_truncation, None)
+        else:
+            eps_final = self.config.final_eps(self.eps)
+            kept_points = self.partition.restrict_mask(
+                list(np.flatnonzero(self.sieve.kept))
+            )
+            ref = self.learned.to_pmf()
+            mask = active_mask(ref, eps_final, self.config.chi2_truncation, kept_points)
         self._plan = FinalTestPlan(
             m=self.config.chi2_samples(self.n, eps_final),
             repeats=self.config.chi2_repeat_count(self.k),
             eps_final=eps_final,
             reference_pmf=ref,
-            mask=active_mask(ref, eps_final, self.config.chi2_truncation, kept_points),
+            mask=mask,
+            backend=self.backend,
         )
         self._final = self._log.begin("chi2")
         return self._plan
@@ -399,11 +498,22 @@ class TesterPipeline:
             [self.source.draw_counts_poissonized(plan.m) for _ in range(plan.repeats)]
         )
 
-    def finish_final_test(self, z_per_interval: np.ndarray) -> Verdict:
-        """Threshold the (externally computed) statistics into a verdict."""
+    def finish_final_test(self, z_per_interval: np.ndarray) -> Verdict | None:
+        """Threshold the (externally computed) statistics into a verdict.
+
+        Returns ``None`` **only** on the cdkl22 adaptive path when the
+        stage-0 statistic is too close to the threshold to call: the plan
+        (:attr:`final_plan`) is replaced with a stage-1 copy at
+        ``escalation_factor × m`` and the caller must draw fresh counts,
+        recompute statistics, and call again (the chi2 stage stays open, so
+        ledger accounting spans both batches).  pods16 always decides in
+        one call.
+        """
+        z_per_interval = np.asarray(z_per_interval, dtype=np.float64)
+        if self._plan.backend == "cdkl22":
+            return self._finish_cdkl22(z_per_interval)
         plan = self._plan
         handle = self._final
-        z_per_interval = np.asarray(z_per_interval, dtype=np.float64)
         statistic = float(z_per_interval.sum())
         threshold = self.config.chi2_accept_fraction * plan.m * plan.eps_final * plan.eps_final
         chi2 = Chi2Result(
@@ -422,6 +532,62 @@ class TesterPipeline:
             f"{'<=' if chi2.accept else '>'} threshold {chi2.threshold:.4g}"
         )
         return self._exit(accept=chi2.accept, stage="chi2", reason=reason, chi2=chi2)
+
+    def _finish_cdkl22(self, z_per_interval: np.ndarray) -> Verdict | None:
+        plan = self._plan
+        handle = self._final
+        trimmed = _cdkl22.trimmed_statistic(
+            z_per_interval, self.partition, plan.reference_pmf, self.config, self.k, self.eps
+        )
+        statistic = trimmed.statistic
+        threshold = self.config.chi2_accept_fraction * plan.m * plan.eps_final * plan.eps_final
+        if plan.stage == 0:
+            guard = _cdkl22.guard_width(self.config, plan.mask)
+            if threshold - guard < statistic < threshold + guard:
+                # Ambiguous: escalate once, with fresh draws at a larger m.
+                self._plan = replace(
+                    plan, m=float(self.config.cdkl22_escalated_m(plan.m)), stage=1
+                )
+                self.trace.event(
+                    "chi2_escalate",
+                    statistic=statistic,
+                    threshold=threshold,
+                    guard=guard,
+                    m_next=self._plan.m,
+                )
+                get_metrics().counter("tester.chi2_escalations").inc()
+                return None
+        chi2 = Chi2Result(
+            accept=statistic <= threshold,
+            statistic=statistic,
+            threshold=threshold,
+            m=plan.m,
+            interval_statistics=z_per_interval,
+            samples_used=self.source.samples_drawn - handle.mark,
+        )
+        handle.span.set(
+            statistic=chi2.statistic,
+            threshold=chi2.threshold,
+            accept=chi2.accept,
+            trimmed=int(trimmed.trimmed_indices.size),
+            stage=plan.stage,
+        )
+        self._final = None
+        self._log.end(handle)
+        escalated = ", after escalation" if plan.stage else ""
+        reason = (
+            f"cdkl22 trimmed χ² statistic {chi2.statistic:.4g} "
+            f"({trimmed.trimmed_indices.size} intervals trimmed{escalated}) "
+            f"{'<=' if chi2.accept else '>'} threshold {chi2.threshold:.4g}"
+        )
+        return self._exit(accept=chi2.accept, stage="chi2", reason=reason, chi2=chi2)
+
+    @property
+    def final_plan(self) -> FinalTestPlan | None:
+        """The *current* final-test plan — re-read after every
+        ``finish_final_test`` returning ``None``, since escalation replaces
+        it with a larger-``m`` stage-1 copy."""
+        return self._plan
 
     @property
     def final_in_flight(self) -> bool:
@@ -462,16 +628,18 @@ class TesterPipeline:
         if verdict is None:
             verdict = self.run_check()
         if verdict is None:
-            plan = self.begin_final_test()
-            try:
-                counts = self.draw_final_counts()
-                z = median_interval_statistics(
-                    counts, plan.m, plan.reference_pmf, self.partition, plan.mask
-                )
-            except BaseException:
-                self.close_final_test()
-                raise
-            verdict = self.finish_final_test(z)
+            self.begin_final_test()
+            while verdict is None:  # cdkl22 may escalate once
+                plan = self._plan
+                try:
+                    counts = self.draw_final_counts()
+                    z = median_interval_statistics(
+                        counts, plan.m, plan.reference_pmf, self.partition, plan.mask
+                    )
+                except BaseException:
+                    self.close_final_test()
+                    raise
+                verdict = self.finish_final_test(z)
         return verdict
 
     def _exit(self, accept: bool, stage: str, reason: str, chi2: Chi2Result | None = None) -> Verdict:
@@ -499,6 +667,7 @@ def test_histogram(
     *,
     config: TesterConfig | None = None,
     rng: RandomState = None,
+    backend: str = DEFAULT_BACKEND,
     projection_engine: str = "auto",
     trace: Tracer = NULL_TRACER,
 ) -> Verdict:
@@ -521,6 +690,11 @@ def test_histogram(
         The TV-distance proximity parameter.
     config:
         Constant profile; defaults to :meth:`TesterConfig.practical`.
+    backend:
+        Which decision procedure runs ("pods16" | "cdkl22"; see
+        :mod:`repro.core.backends`).  Unlike ``projection_engine`` this
+        changes budgets and (on marginal inputs) verdicts, so experiment
+        checkpoints fingerprint it.
     projection_engine:
         Which DP engine backs the Step-10 check ("auto" | "fast" |
         "dense"); a pure execution knob that never changes the verdict, so
@@ -543,10 +717,11 @@ def test_histogram(
         eps,
         config=config,
         rng=rng,
+        backend=backend,
         projection_engine=projection_engine,
         trace=trace,
     )
-    with trace.span("test", n=pipeline.n, k=k, eps=eps) as run_span:
+    with trace.span("test", n=pipeline.n, k=k, eps=eps, backend=pipeline.backend) as run_span:
         verdict = pipeline.run()
         run_span.set(
             accept=verdict.accept,
@@ -581,7 +756,13 @@ class HistogramTester:
         verdict = tester.test(dist, rng=seed)
     """
 
-    def __init__(self, k: int, eps: float, config: TesterConfig | None = None) -> None:
+    def __init__(
+        self,
+        k: int,
+        eps: float,
+        config: TesterConfig | None = None,
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
         if not 0.0 < eps <= 1.0:
@@ -589,6 +770,7 @@ class HistogramTester:
         self.k = k
         self.eps = eps
         self.config = config if config is not None else TesterConfig.practical()
+        self.backend = validate_backend(backend)
 
     def test(
         self,
@@ -598,11 +780,15 @@ class HistogramTester:
     ) -> Verdict:
         """Run one test; see :func:`test_histogram`."""
         return test_histogram(
-            dist, self.k, self.eps, config=self.config, rng=rng, trace=trace
+            dist,
+            self.k,
+            self.eps,
+            config=self.config,
+            rng=rng,
+            backend=self.backend,
+            trace=trace,
         )
 
     def expected_samples(self, n: int) -> float:
         """Closed-form estimate of the sample budget on a size-``n`` domain."""
-        from repro.core.budget import algorithm1_budget
-
-        return algorithm1_budget(n, self.k, self.eps, config=self.config)
+        return backend_budget(self.backend, n, self.k, self.eps, self.config)

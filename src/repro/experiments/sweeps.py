@@ -16,6 +16,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.core.backends import DEFAULT_BACKEND, validate_backend
 from repro.core.config import TesterConfig
 from repro.core.tester import test_histogram
 from repro.distributions import families
@@ -91,7 +92,7 @@ class FarFromHkWorkload:
 
 @dataclass(frozen=True)
 class HistogramTester:
-    """Picklable tester: Algorithm 1 at a fixed budget scale.
+    """Picklable tester: one backend at a fixed budget scale.
 
     Module-level (not a closure) so the process backend of
     :mod:`repro.parallel` can ship it to workers.
@@ -100,6 +101,7 @@ class HistogramTester:
     k: int
     eps: float
     config: TesterConfig
+    backend: str = DEFAULT_BACKEND
 
     #: Advertises the ``trace=`` keyword to the trial runner (see
     #: :data:`repro.experiments.runner.Tester`); a class attribute, so the
@@ -108,7 +110,12 @@ class HistogramTester:
 
     def __call__(self, source, trace: Tracer = NULL_TRACER) -> bool:
         return test_histogram(
-            source, self.k, self.eps, config=self.config, trace=trace
+            source,
+            self.k,
+            self.eps,
+            config=self.config,
+            backend=self.backend,
+            trace=trace,
         ).accept
 
 
@@ -119,9 +126,10 @@ class HistogramTesterFamily:
     k: int
     eps: float
     config: TesterConfig
+    backend: str = DEFAULT_BACKEND
 
     def __call__(self, scale: float) -> HistogramTester:
-        return HistogramTester(self.k, self.eps, self.config.scaled(scale))
+        return HistogramTester(self.k, self.eps, self.config.scaled(scale), self.backend)
 
 
 def _default_workloads(
@@ -217,6 +225,7 @@ def complexity_sweep(
     resume: bool = True,
     policy: TrialPolicy | None = None,
     workers: int | None = None,
+    backend: str = DEFAULT_BACKEND,
     label_ground_truth: bool = False,
     trace: Tracer = NULL_TRACER,
 ) -> SweepResult:
@@ -244,6 +253,11 @@ def complexity_sweep(
     excludes the worker count and a checkpoint written at one worker count
     resumes correctly at any other.
 
+    ``backend`` selects the tester backend ("pods16" | "cdkl22").  Unlike
+    the worker count it changes measured budgets and (on marginal inputs)
+    verdicts, so it **is** part of the checkpoint fingerprint: a
+    checkpoint written under one backend never resumes under the other.
+
     ``label_ground_truth`` additionally computes certified
     ``dTV(·, H_k)`` bounds for one representative complete/far instance per
     sweep point (memoized via
@@ -266,6 +280,7 @@ def complexity_sweep(
         config = TesterConfig.practical()
     if workers is None:
         workers = config.workers
+    validate_backend(backend)
     make_workloads = workloads if workloads is not None else _default_workloads
 
     store = resolve_store(checkpoint)
@@ -291,6 +306,7 @@ def complexity_sweep(
             "trials": trials,
             "bisection_steps": bisection_steps,
             "config": config_print,
+            "backend": backend,
             "seed": rng,
         }
         if resume:
@@ -312,7 +328,7 @@ def complexity_sweep(
         else:
             cur_eps = float(value)
         complete, far = make_workloads(cur_n, cur_k, cur_eps)
-        family = HistogramTesterFamily(cur_k, cur_eps, config)
+        family = HistogramTesterFamily(cur_k, cur_eps, config, backend)
         with trace.span(
             "point", axis=axis, value=float(value), n=cur_n, k=cur_k, eps=cur_eps
         ):

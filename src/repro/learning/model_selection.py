@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.backends import DEFAULT_BACKEND
 from repro.core.config import TesterConfig
 from repro.core.tester import test_histogram
 from repro.distributions.discrete import DiscreteDistribution
@@ -41,11 +42,17 @@ def _amplified_test(
     eps: float,
     config: TesterConfig,
     repeats: int,
+    backend: str = DEFAULT_BACKEND,
     projection_engine: str = "auto",
 ) -> bool:
     verdicts = [
         test_histogram(
-            source, k, eps, config=config, projection_engine=projection_engine
+            source,
+            k,
+            eps,
+            config=config,
+            backend=backend,
+            projection_engine=projection_engine,
         ).accept
         for _ in range(repeats)
     ]
@@ -61,6 +68,7 @@ def select_k(
     confidence: float = 0.9,
     repeats: int | None = None,
     rng: RandomState = None,
+    backend: str = DEFAULT_BACKEND,
     projection_engine: str = "auto",
 ) -> ModelSelectionResult:
     """Doubling + binary search for the smallest accepted ``k``, then learn.
@@ -102,7 +110,7 @@ def select_k(
     accepted_k: int | None = None
     while True:
         probe = min(k, k_max)
-        ok = _amplified_test(source, probe, eps, config, repeats, projection_engine)
+        ok = _amplified_test(source, probe, eps, config, repeats, backend, projection_engine)
         trace[probe] = ok
         tests += 1
         if ok:
@@ -120,7 +128,7 @@ def select_k(
     hi = accepted_k
     while lo < hi:
         mid = (lo + hi) // 2
-        ok = _amplified_test(source, mid, eps, config, repeats, projection_engine)
+        ok = _amplified_test(source, mid, eps, config, repeats, backend, projection_engine)
         trace[mid] = ok
         tests += 1
         if ok:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backends import BACKENDS, validate_backend
 from repro.experiments.workloads import make
 from repro.robustness.faults import FaultConfig
 from repro.serve.session import StreamRequest
@@ -54,10 +55,16 @@ class ChaosConfig:
     #: Virtual-tick deadline given to ``timeout`` fault sessions (each draw
     #: call reads the virtual clock once, so single digits expire mid-run).
     timeout_ticks: int = 5
+    #: Tester backend for the population: one of the registered backends,
+    #: or ``"mixed"`` to alternate per session (exercising the same-shape,
+    #: different-backend batch-grouping path).
+    backend: str = "pods16"
 
     def __post_init__(self) -> None:
         if self.sessions < 1:
             raise ValueError(f"sessions must be ≥ 1, got {self.sessions}")
+        if self.backend != "mixed":
+            validate_backend(self.backend)
         if not 0.0 <= self.fault_rate <= 1.0:
             raise ValueError(f"fault_rate must be in [0, 1], got {self.fault_rate}")
         if self.healthy_sources < 1:
@@ -103,6 +110,9 @@ def build_requests(config: ChaosConfig) -> list:
                 deadline_ticks = config.timeout_ticks
             else:  # projection
                 projection_fault = True
+        backend = (
+            BACKENDS[i % len(BACKENDS)] if config.backend == "mixed" else config.backend
+        )
         requests.append(
             StreamRequest(
                 request_id=f"chaos-{i:04d}",
@@ -114,6 +124,7 @@ def build_requests(config: ChaosConfig) -> list:
                 faults=faults,
                 deadline_ticks=deadline_ticks,
                 projection_fault=projection_fault,
+                backend=backend,
             )
         )
     return requests

@@ -43,10 +43,14 @@ from typing import Optional
 import numpy as np
 
 from repro.baselines.learn_offline import learn_offline_budget_practical
-from repro.core.budget import algorithm1_budget
+from repro.core.backends import backend_budget
 from repro.core.config import TesterConfig
 from repro.core.tester import TesterPipeline, Verdict
-from repro.distributions.projection import exists_close_histogram
+from repro.distributions.projection import (
+    Projection,
+    coarse_flattening_projection,
+    exists_close_histogram,
+)
 from repro.distributions.sampling import SampleBudgetExceeded
 from repro.observability.metrics import get_metrics
 from repro.robustness.faults import CorruptSampleError, InjectedStreamFailure
@@ -161,7 +165,12 @@ class ServiceReport:
 def request_units(
     request: StreamRequest, config: TesterConfig, slack: float
 ) -> int:
-    """The admission cost of a request: its per-attempt hard sample cap."""
+    """The admission cost of a request: its per-attempt hard sample cap.
+
+    Priced by the request's backend — a cdkl22 request admits at its own
+    (much smaller) worst case, escalation reserve included, so the same
+    capacity serves proportionally more cdkl22 sessions.
+    """
     if request.max_samples is not None:
         return int(request.max_samples)
     n, k = request.dist.n, request.k
@@ -169,10 +178,10 @@ def request_units(
         return 0
     b = config.partition_b(k, request.eps)
     if 2.0 * b + 2.0 >= n / 2.0:
-        # Plug-in regime: Algorithm 1's formula does not apply; the offline
-        # learner's Θ(n/ε²) budget does.
+        # Plug-in regime: the backend budget formulas do not apply; the
+        # offline learner's Θ(n/ε²) budget does.
         return int(math.ceil(slack * learn_offline_budget_practical(n, request.eps)))
-    return int(math.ceil(slack * algorithm1_budget(n, k, request.eps, config)))
+    return int(math.ceil(slack * backend_budget(request.backend, n, k, request.eps, config)))
 
 
 class TesterService:
@@ -192,6 +201,7 @@ class TesterService:
         self._rejections: list[Rejection] = []
         self._session_counter = 0
         self._check_cache: "OrderedDict[tuple, bool]" = OrderedDict()
+        self._project_cache: "OrderedDict[tuple, Projection]" = OrderedDict()
         self.rounds_run = 0
         #: Per-session exported trace events (request_id → event tuple),
         #: captured at retirement for post-hoc audit (`repro serve --trace-dir`).
@@ -280,13 +290,29 @@ class TesterService:
                 batch_items.append(item)
                 batch_sessions.append(session)
 
-        if batch_items:
+        # Inner loop: a cdkl22 session whose stage-0 statistic is ambiguous
+        # escalates (finish returns None) — it redraws fresh counts at the
+        # larger batch size and joins the next inner batch, still within
+        # this round.  pods16 sessions always retire on the first pass.
+        while batch_items:
             statistics = compute_final_statistics(
                 batch_items, workers=self.config.workers
             )
+            next_items: list[FinalBatchItem] = []
+            next_sessions: list[StreamSession] = []
             for session, z in zip(batch_sessions, statistics):
                 verdict = session.pipeline.finish_final_test(z)
-                self._retire_with_verdict(session, verdict, round_index)
+                if verdict is not None:
+                    self._retire_with_verdict(session, verdict, round_index)
+                    continue
+                try:
+                    item = self._final_item(session.pipeline)
+                except SESSION_FAILURES as exc:
+                    self._on_failure(session, exc, round_index)
+                    continue
+                next_items.append(item)
+                next_sessions.append(session)
+            batch_items, batch_sessions = next_items, next_sessions
 
     # -- session stepping -----------------------------------------------------
 
@@ -306,6 +332,7 @@ class TesterService:
             admitted_round=round_index,
         )
         session.check_oracle = self._make_check_oracle(session)
+        session.project_oracle = self._make_project_oracle(session)
         session.admitted_wall = time.perf_counter()
         self.sessions[request_id] = session
         get_metrics().counter("serve.admitted").inc()
@@ -331,18 +358,25 @@ class TesterService:
             if verdict is not None:
                 self._retire_with_verdict(session, verdict, round_index)
                 return None
-            plan = pipeline.begin_final_test()
-            counts = pipeline.draw_final_counts()
-            return FinalBatchItem(
-                counts=counts,
-                m=plan.m,
-                reference_pmf=plan.reference_pmf,
-                mask=plan.mask,
-                partition=pipeline.partition,
-            )
+            pipeline.begin_final_test()
+            return self._final_item(pipeline)
         except SESSION_FAILURES as exc:
             self._on_failure(session, exc, round_index)
             return None
+
+    def _final_item(self, pipeline: TesterPipeline) -> FinalBatchItem:
+        """Draw counts for the pipeline's *current* plan (stage 0 or an
+        escalated stage 1) and package them for the batch executor."""
+        plan = pipeline.final_plan
+        counts = pipeline.draw_final_counts()
+        return FinalBatchItem(
+            counts=counts,
+            m=plan.m,
+            reference_pmf=plan.reference_pmf,
+            mask=plan.mask,
+            partition=pipeline.partition,
+            backend=plan.backend,
+        )
 
     def _on_failure(
         self, session: StreamSession, exc: BaseException, round_index: int
@@ -489,5 +523,54 @@ class TesterService:
                 get_metrics().counter("serve.projection_fallbacks").inc()
                 session.degrade("projection-dense-fallback")
                 return self._check_cached(pmf, partition, k, kept, tolerance, "dense")
+
+        return oracle
+
+    def _project_cached(self, pmf, partition, k, kept, engine) -> Projection:
+        """The shared cdkl22 projection cache (LRU over exact byte keys).
+
+        Caches the full :class:`Projection` (distance *and* reference
+        histogram): repeated sessions on the same learned pmf skip the DP
+        entirely.  Entries are immutable, so sharing across sessions is safe.
+        """
+        key = (
+            np.asarray(pmf).tobytes(),
+            int(k),
+            partition.boundaries.tobytes(),
+            np.asarray(kept).tobytes(),
+            engine,
+        )
+        metrics = get_metrics()
+        if key in self._project_cache:
+            self._project_cache.move_to_end(key)
+            metrics.counter("serve.project_cache", result="hit").inc()
+            return self._project_cache[key]
+        metrics.counter("serve.project_cache", result="miss").inc()
+        value = coarse_flattening_projection(pmf, partition, k, kept, engine=engine)
+        self._project_cache[key] = value
+        while len(self._project_cache) > self.config.check_cache_size:
+            self._project_cache.popitem(last=False)
+        return value
+
+    def _make_project_oracle(self, session: StreamSession):
+        """Per-session cdkl22 projection oracle: shared cache + the same
+        dense-engine fallback policy as the pods16 check oracle."""
+
+        def oracle(pmf, partition, k, kept, engine="auto"):
+            try:
+                if session.projection_fault_pending:
+                    session.projection_fault_pending = False
+                    raise ProjectionOracleError(
+                        "injected projection-oracle fault (chaos schedule)"
+                    )
+                return self._project_cached(pmf, partition, k, kept, engine)
+            except SESSION_FAILURES:
+                raise  # stream faults are not oracle faults
+            except Exception:
+                if engine == "dense":
+                    raise
+                get_metrics().counter("serve.projection_fallbacks").inc()
+                session.degrade("projection-dense-fallback")
+                return self._project_cached(pmf, partition, k, kept, "dense")
 
         return oracle

@@ -32,8 +32,9 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core.backends import DEFAULT_BACKEND, validate_backend
 from repro.core.config import TesterConfig
-from repro.core.tester import CheckOracle, TesterPipeline, Verdict
+from repro.core.tester import CheckOracle, ProjectOracle, TesterPipeline, Verdict
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.sampling import SampleSource
 from repro.observability.trace import RecordingTracer
@@ -90,12 +91,17 @@ class StreamRequest:
     #: Chaos knob: make the fast projection engine fail once for this
     #: session, exercising the dense-fallback degradation path.
     projection_fault: bool = False
+    #: Tester backend for this session ("pods16" | "cdkl22").  Part of the
+    #: batch grouping key — mixed-backend rounds batch same-shape *and*
+    #: same-backend sessions together — and of the admission cost formula.
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if self.deadline_ticks is not None and self.deadline_ticks < 1:
             raise ValueError(f"deadline_ticks must be ≥ 1, got {self.deadline_ticks}")
         if self.max_samples is not None and self.max_samples < 1:
             raise ValueError(f"max_samples must be ≥ 1, got {self.max_samples}")
+        validate_backend(self.backend)
 
 
 @dataclass(frozen=True)
@@ -156,6 +162,7 @@ class StreamSession:
         clock: Callable[[], float],
         admitted_round: int,
         check_oracle: Optional[CheckOracle] = None,
+        project_oracle: Optional[ProjectOracle] = None,
     ) -> None:
         self.index = index
         self.request = request
@@ -171,6 +178,7 @@ class StreamSession:
         self.degraded_mode: Optional[str] = None
         self.projection_fault_pending = request.projection_fault
         self.check_oracle = check_oracle
+        self.project_oracle = project_oracle
         self.tracer = RecordingTracer()
         self.pipeline: Optional[TesterPipeline] = None
         self._test_span = None
@@ -205,7 +213,12 @@ class StreamSession:
         if self.deadline is not None:
             source = DeadlineSource(source, self.deadline)
         self._test_span = self.tracer.span(
-            "attempt", n=req.dist.n, k=req.k, eps=req.eps, attempt=self.attempt
+            "attempt",
+            n=req.dist.n,
+            k=req.k,
+            eps=req.eps,
+            attempt=self.attempt,
+            backend=req.backend,
         )
         self._test_span.__enter__()
         self.pipeline = TesterPipeline(
@@ -213,8 +226,10 @@ class StreamSession:
             req.k,
             req.eps,
             config=self.config,
+            backend=req.backend,
             projection_engine=req.engine,
             check_oracle=self.check_oracle,
+            project_oracle=self.project_oracle,
             trace=self.tracer,
         )
         return self.pipeline

@@ -1,0 +1,51 @@
+"""Fast backend-matrix calibration slice — runs on every push (NOT slow).
+
+The full nightly suite (:mod:`tests.calibration.test_error_rates`) runs 120
+trials per cell; this slice runs a reduced trial count over one canonical
+yes-instance and one certified ε-far instance for *each* backend, against
+the same exact-binomial bound recomputed for the smaller sample.  It cannot
+detect subtle calibration drift — that is the nightly's job — but it turns
+"a backend's verdicts flipped wholesale" from a nightly surprise into a
+push-blocking failure.
+
+Shares ``error_count`` (and the N, K, EPS operating point) with the nightly
+module so the two suites can never silently measure different things.
+"""
+
+import pytest
+from scipy import stats
+
+from repro.core.backends import BACKENDS
+
+from .test_error_rates import EPS, FLAKE_P, K, N, TesterConfig, error_count
+
+TRIALS_CI = 40
+
+#: Binomial bound at the reduced trial count: if the per-trial error rate
+#: really were 1/3, seeing more than this many errors among TRIALS_CI has
+#: probability below FLAKE_P.
+MAX_ERRORS_CI = int(stats.binom.ppf(1 - FLAKE_P, TRIALS_CI, 1.0 / 3.0))
+
+CONFIG = TesterConfig.practical()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ci_false_negative_rate(backend):
+    errors = error_count(
+        "staircase", CONFIG, seed=500, far=False, backend=backend, trials=TRIALS_CI
+    )
+    assert errors <= MAX_ERRORS_CI, (
+        f"staircase [{backend}]: {errors}/{TRIALS_CI} completeness errors "
+        f"exceeds the binomial bound {MAX_ERRORS_CI} for per-trial rate 1/3"
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ci_false_positive_rate(backend):
+    errors = error_count(
+        "sawtooth-uniform", CONFIG, seed=600, far=True, backend=backend, trials=TRIALS_CI
+    )
+    assert errors <= MAX_ERRORS_CI, (
+        f"sawtooth-uniform [{backend}]: {errors}/{TRIALS_CI} soundness errors "
+        f"exceeds the binomial bound {MAX_ERRORS_CI} for per-trial rate 1/3"
+    )

@@ -19,6 +19,7 @@ and skipped by default; the nightly CI job runs it with ``--run-slow``.
 import pytest
 from scipy import stats
 
+from repro.core.backends import BACKENDS
 from repro.core.config import TesterConfig
 from repro.experiments.runner import acceptance_probability
 from repro.experiments.sweeps import HistogramTester
@@ -37,11 +38,19 @@ FLAKE_P = 1e-6
 MAX_ERRORS = int(stats.binom.ppf(1 - FLAKE_P, TRIALS, 1.0 / 3.0))
 
 
-def error_count(workload_name: str, config: TesterConfig, seed: int, *, far: bool) -> int:
+def error_count(
+    workload_name: str,
+    config: TesterConfig,
+    seed: int,
+    *,
+    far: bool,
+    backend: str = "pods16",
+    trials: int = TRIALS,
+) -> int:
     estimate = acceptance_probability(
         BoundWorkload(workload_name, N, K, EPS),
-        HistogramTester(K, EPS, config),
-        trials=TRIALS,
+        HistogramTester(K, EPS, config, backend),
+        trials=trials,
         rng=seed,
         workers=0,  # auto: exercises the parallel path on multi-core runners
     )
@@ -49,36 +58,42 @@ def error_count(workload_name: str, config: TesterConfig, seed: int, *, far: boo
     return accepted if far else estimate.trials - accepted
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestPracticalProfile:
+    """Both backends must clear the same binomial bar: the cdkl22 budget is
+    an order of magnitude smaller, so a calibration regression there (e.g.
+    the trimmed statistic eating too much of ε′) shows up here first."""
+
     CONFIG = TesterConfig.practical()
 
     @pytest.mark.parametrize("name", ["staircase", "uniform", "random-histogram"])
-    def test_false_negative_rate(self, name):
-        errors = error_count(name, self.CONFIG, seed=100, far=False)
+    def test_false_negative_rate(self, name, backend):
+        errors = error_count(name, self.CONFIG, seed=100, far=False, backend=backend)
         assert errors <= MAX_ERRORS, (
-            f"{name}: {errors}/{TRIALS} completeness errors exceeds the "
-            f"binomial bound {MAX_ERRORS} for per-trial rate 1/3"
+            f"{name} [{backend}]: {errors}/{TRIALS} completeness errors exceeds "
+            f"the binomial bound {MAX_ERRORS} for per-trial rate 1/3"
         )
 
     @pytest.mark.parametrize("name", ["sawtooth-uniform", "sawtooth-staircase"])
-    def test_false_positive_rate(self, name):
-        errors = error_count(name, self.CONFIG, seed=200, far=True)
+    def test_false_positive_rate(self, name, backend):
+        errors = error_count(name, self.CONFIG, seed=200, far=True, backend=backend)
         assert errors <= MAX_ERRORS, (
-            f"{name}: {errors}/{TRIALS} soundness errors exceeds the "
-            f"binomial bound {MAX_ERRORS} for per-trial rate 1/3"
+            f"{name} [{backend}]: {errors}/{TRIALS} soundness errors exceeds "
+            f"the binomial bound {MAX_ERRORS} for per-trial rate 1/3"
         )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestPaperProfile:
     """The paper-faithful constants are far more conservative; spot-check
     one instance per side at the same binomial bar."""
 
     CONFIG = TesterConfig.paper()
 
-    def test_false_negative_rate(self):
-        errors = error_count("staircase", self.CONFIG, seed=300, far=False)
+    def test_false_negative_rate(self, backend):
+        errors = error_count("staircase", self.CONFIG, seed=300, far=False, backend=backend)
         assert errors <= MAX_ERRORS
 
-    def test_false_positive_rate(self):
-        errors = error_count("sawtooth-uniform", self.CONFIG, seed=400, far=True)
+    def test_false_positive_rate(self, backend):
+        errors = error_count("sawtooth-uniform", self.CONFIG, seed=400, far=True, backend=backend)
         assert errors <= MAX_ERRORS

@@ -1,0 +1,206 @@
+"""Unit tests for the tester backend registry and the cdkl22 primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    backend_budget,
+    validate_backend,
+)
+from repro.core.backends.cdkl22 import cdkl22_budget, guard_width, trimmed_statistic
+from repro.core.budget import algorithm1_budget
+from repro.core.config import TesterConfig
+from repro.core.tester import TesterPipeline, test_histogram
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.sampling import SampleSource
+from repro.experiments.workloads import make
+from repro.observability.trace import RecordingTracer
+from repro.util.intervals import Partition
+
+CONFIG = TesterConfig.practical()
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        assert BACKENDS == ("pods16", "cdkl22")
+        assert DEFAULT_BACKEND == "pods16"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_validate_accepts_registered(self, backend):
+        validate_backend(backend)  # no raise
+
+    @pytest.mark.parametrize("bogus", ["", "PODS16", "cdkl", "mixed", None])
+    def test_validate_rejects_unknown(self, bogus):
+        with pytest.raises(ValueError, match="backend"):
+            validate_backend(bogus)
+
+    def test_budget_dispatch(self):
+        n, k, eps = 2000, 4, 0.3
+        assert backend_budget("pods16", n, k, eps, CONFIG) == algorithm1_budget(
+            n, k, eps, CONFIG
+        )
+        assert backend_budget("cdkl22", n, k, eps, CONFIG) == cdkl22_budget(
+            n, k, eps, CONFIG
+        )
+
+
+class TestBudget:
+    def test_cdkl22_beats_pods16_at_scale(self):
+        for n in (600, 2500, 10_000):
+            cheap = cdkl22_budget(n, 4, 0.3, CONFIG)
+            full = algorithm1_budget(n, 4, 0.3, CONFIG)
+            assert 0 < cheap < full / 10  # the whole point of the backend
+
+    def test_monotone_in_n(self):
+        budgets = [cdkl22_budget(n, 4, 0.3, CONFIG) for n in (500, 1000, 4000, 16_000)]
+        assert budgets == sorted(budgets)
+
+    def test_trivial_regime_is_free(self):
+        assert cdkl22_budget(4, 8, 0.3, CONFIG) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cdkl22_budget(-1, 4, 0.3, CONFIG)
+        with pytest.raises(ValueError):
+            cdkl22_budget(100, 0, 0.3, CONFIG)
+        with pytest.raises(ValueError):
+            cdkl22_budget(100, 4, 0.0, CONFIG)
+
+
+class TestConfigDerivations:
+    def test_final_eps_never_below_pods16_floor(self):
+        for k in (1, 2, 4, 16, 64):
+            for eps in (0.1, 0.3, 0.5):
+                assert CONFIG.cdkl22_final_eps(k, eps) >= CONFIG.final_eps(eps)
+                assert CONFIG.cdkl22_final_eps(k, eps) <= eps
+
+    def test_trim_count_tracks_k(self):
+        assert CONFIG.cdkl22_trim_count(1) == 0
+        assert CONFIG.cdkl22_trim_count(2) == 1
+        assert CONFIG.cdkl22_trim_count(5) == 4
+
+    def test_escalated_m_grows_and_validates(self):
+        assert CONFIG.cdkl22_escalated_m(100) >= 100
+        with pytest.raises(ValueError):
+            CONFIG.cdkl22_escalated_m(0)
+
+    def test_learner_eps_is_coarser_than_pods16(self):
+        # Testing-by-learning affords a coarser (cheaper) learner.
+        assert CONFIG.cdkl22_learner_eps(0.3) > CONFIG.learner_eps(0.3)
+
+
+class TestTrimmedStatistic:
+    def _fixture(self, seed=0, cells=12, width=8):
+        rng = np.random.default_rng(seed)
+        n = cells * width
+        boundaries = np.arange(0, n + 1, width)
+        partition = Partition(boundaries)
+        pmf = rng.dirichlet(np.ones(n))
+        z = rng.normal(0.0, 5.0, size=cells)
+        return z, partition, pmf
+
+    def test_deterministic_and_reconciles(self):
+        z, partition, pmf = self._fixture()
+        k, eps = 4, 0.3
+        first = trimmed_statistic(z, partition, pmf, CONFIG, k, eps)
+        second = trimmed_statistic(z, partition, pmf, CONFIG, k, eps)
+        np.testing.assert_array_equal(first.trimmed_indices, second.trimmed_indices)
+        assert first.statistic == second.statistic
+        assert first.raw_statistic == pytest.approx(float(z.sum()))
+        assert first.statistic == pytest.approx(
+            first.raw_statistic - first.trimmed_sum
+        )
+
+    def test_never_trims_more_than_trim_count(self):
+        z, partition, pmf = self._fixture(seed=3)
+        for k in (1, 2, 4, 10):
+            result = trimmed_statistic(z, partition, pmf, CONFIG, k, 0.3)
+            assert result.trimmed_indices.size <= CONFIG.cdkl22_trim_count(k)
+
+    def test_only_small_mass_positive_intervals_eligible(self):
+        z, partition, pmf = self._fixture(seed=5)
+        k, eps = 4, 0.3
+        cap = CONFIG.cdkl22_trim_mass_cap(k, eps)
+        masses = partition.aggregate(pmf)
+        result = trimmed_statistic(z, partition, pmf, CONFIG, k, eps)
+        for idx in result.trimmed_indices:
+            assert masses[idx] <= cap
+            assert z[idx] > 0
+
+    def test_k1_trims_nothing(self):
+        z, partition, pmf = self._fixture(seed=7)
+        result = trimmed_statistic(z, partition, pmf, CONFIG, 1, 0.3)
+        assert result.trimmed_indices.size == 0
+        assert result.statistic == result.raw_statistic
+
+    def test_guard_width_scales_with_active_intervals(self):
+        narrow = guard_width(CONFIG, np.ones(4, dtype=bool))
+        wide = guard_width(CONFIG, np.ones(64, dtype=bool))
+        assert 0 < narrow < wide
+
+
+class TestCdkl22Pipeline:
+    def _source(self, workload, n, k, eps, seed):
+        dist = make(workload, n, k, eps, rng=np.random.default_rng(seed))
+        return SampleSource(dist, rng=np.random.default_rng(seed + 1))
+
+    def test_stage_layout_has_no_sieve(self):
+        pipeline = TesterPipeline(
+            self._source("staircase", 600, 4, 0.3, 2), 4, 0.3,
+            config=CONFIG, backend="cdkl22",
+        )
+        verdict = pipeline.run()
+        assert verdict.accept
+        assert "sieve" not in verdict.stage_samples
+        assert "check" in verdict.stage_samples or "check" in verdict.stage_timings
+        assert verdict.samples_used == sum(verdict.stage_samples.values())
+
+    def test_far_instance_rejects_at_check_gate_sample_free(self):
+        """A far-from-H_k instance whose learned pmf projects far must be
+        rejected by the testing-by-learning gate without buying final-test
+        samples."""
+        verdict = test_histogram(
+            make("zipf", 600, 4, 0.3, rng=np.random.default_rng(0)),
+            4, 0.3, config=CONFIG, rng=1, backend="cdkl22",
+        )
+        assert not verdict.accept
+        assert verdict.stage == "check"
+        assert "chi2" not in verdict.stage_samples
+
+    def test_uniform_is_accepted(self):
+        verdict = test_histogram(
+            DiscreteDistribution.uniform(600), 4, 0.3,
+            config=CONFIG, rng=3, backend="cdkl22",
+        )
+        assert verdict.accept
+
+    def test_forced_escalation_reports_stage_one(self):
+        """Guard width → ∞ forces stage 0 into the guard band: the pipeline
+        must redraw at the escalated m and decide at stage 1."""
+        from dataclasses import replace
+
+        config = replace(CONFIG, cdkl22_guard_sigmas=1e9)
+        tracer = RecordingTracer()
+        pipeline = TesterPipeline(
+            self._source("staircase", 600, 4, 0.3, 9), 4, 0.3,
+            config=config, backend="cdkl22", trace=tracer,
+        )
+        verdict = pipeline.run()
+        assert verdict.accept
+        assert "after escalation" in verdict.reason
+        assert any(e.name.endswith("chi2_escalate") for e in tracer.events)
+        # The chi2 ledger stage spans both draws, so the books still balance.
+        assert verdict.samples_used == sum(verdict.stage_samples.values())
+
+    def test_unknown_backend_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="backend"):
+            TesterPipeline(
+                self._source("staircase", 600, 4, 0.3, 2), 4, 0.3,
+                config=CONFIG, backend="cdkl23",
+            )
+        with pytest.raises(ValueError, match="backend"):
+            test_histogram(
+                DiscreteDistribution.uniform(64), 4, 0.3, rng=0, backend="cdkl23"
+            )

@@ -1,0 +1,136 @@
+"""Backend-agnostic Verdict and accounting invariants (Hypothesis).
+
+Whatever the backend, a tester run must keep its books: the verdict's
+``samples_used`` equals the sum of its per-stage attributions, the sample
+ledger reconciles to integer exactness on *every* exit path (verdicts,
+degradations, and evictions alike — exercised through the serve chaos
+drill, which is the only place the failure paths occur organically), and a
+fixed ``SeedSequence`` replays to an identical verdict.  These are the
+properties the backend knob is *not* allowed to change, which is what makes
+``backend={pods16,cdkl22}`` a safe extension point.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backends import BACKENDS
+from repro.core.config import TesterConfig
+from repro.core.tester import test_histogram
+from repro.experiments.workloads import make
+from repro.serve import ChaosConfig, ServiceConfig, TesterService, build_requests
+from repro.serve.session import SessionState
+
+CONFIG = TesterConfig.practical()
+
+WORKLOADS = ("staircase", "random-histogram", "uniform", "sawtooth-uniform", "zipf")
+
+
+@st.composite
+def histogram_cases(draw):
+    """(dist, k, eps, seed, backend) spanning plugin and full-pipeline regimes."""
+    n = draw(st.sampled_from([64, 300, 700, 1600]))
+    k = draw(st.integers(min_value=1, max_value=6))
+    eps = draw(st.sampled_from([0.25, 0.3, 0.4]))
+    workload = draw(st.sampled_from(WORKLOADS))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    backend = draw(st.sampled_from(BACKENDS))
+    dist = make(workload, n, k, eps, rng=np.random.default_rng(seed))
+    return dist, k, eps, seed, backend
+
+
+class TestVerdictInvariants:
+    @given(histogram_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_samples_used_equals_stage_sum(self, case):
+        dist, k, eps, seed, backend = case
+        verdict = test_histogram(dist, k, eps, config=CONFIG, rng=seed + 1, backend=backend)
+        assert verdict.samples_used == sum(verdict.stage_samples.values())
+        assert all(s >= 0 for s in verdict.stage_samples.values())
+
+    @given(histogram_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_seedsequence_replay_is_identical(self, case):
+        dist, k, eps, seed, backend = case
+        first = test_histogram(dist, k, eps, config=CONFIG, rng=seed + 1, backend=backend)
+        second = test_histogram(dist, k, eps, config=CONFIG, rng=seed + 1, backend=backend)
+        assert first.accept == second.accept
+        assert first.stage == second.stage
+        assert first.reason == second.reason
+        assert first.samples_used == second.samples_used
+        assert first.stage_samples == second.stage_samples
+
+    @given(histogram_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_cdkl22_never_runs_a_sieve(self, case):
+        dist, k, eps, seed, _ = case
+        verdict = test_histogram(dist, k, eps, config=CONFIG, rng=seed + 1, backend="cdkl22")
+        # The trimmed final statistic replaces the sieve: no samples may ever
+        # be attributed to a sieve stage under cdkl22, in either regime.
+        assert "sieve" not in verdict.stage_samples
+
+
+@st.composite
+def drill_cases(draw):
+    """Small chaos drills spanning clean and faulty populations per backend."""
+    backend = draw(st.sampled_from(BACKENDS + ("mixed",)))
+    sessions = draw(st.integers(min_value=4, max_value=10))
+    fault_rate = draw(st.sampled_from([0.0, 0.3, 0.6]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return ChaosConfig(
+        sessions=sessions,
+        fault_rate=fault_rate,
+        seed=seed,
+        backend=backend,
+    )
+
+
+def run_drill(chaos: ChaosConfig):
+    service = TesterService(ServiceConfig(tester=CONFIG))
+    for request in build_requests(chaos):
+        service.submit(request)
+    return service.run()
+
+
+class TestServeExitPaths:
+    """Ledger accounting must reconcile on every terminal state, not just
+    clean verdicts — degradations and evictions abort mid-stage, which is
+    exactly where a backend with a new stage layout would leak samples."""
+
+    @given(drill_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_every_exit_path_reconciles(self, chaos):
+        report = run_drill(chaos)
+        assert len(report.outcomes) == chaos.sessions
+        for outcome in report.outcomes:
+            assert outcome.state in SessionState.TERMINAL + ("REJECTED",)
+            assert outcome.samples_total == sum(outcome.attempt_samples)
+            assert all(
+                isinstance(s, int) and s >= 0 for s in outcome.attempt_samples
+            )
+            if outcome.state == SessionState.EVICTED:
+                # An evicted session burned real attempts; each one still
+                # reconciled its ledger before landing in attempt_samples.
+                assert outcome.attempts == len(outcome.attempt_samples) >= 1
+
+    @given(drill_cases())
+    @settings(max_examples=8, deadline=None)
+    def test_drill_replays_byte_identically(self, chaos):
+        first = run_drill(chaos)
+        second = run_drill(chaos)
+        assert first.canonical_json() == second.canonical_json()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_degraded_and_evicted_paths_reconcile(backend):
+    """Deterministic pin of the two non-verdict exits for each backend: a
+    fault-heavy drill must produce at least one eviction and no session may
+    escape the terminal-state set."""
+    chaos = ChaosConfig(sessions=10, fault_rate=0.5, seed=7, backend=backend)
+    report = run_drill(chaos)
+    states = {outcome.state for outcome in report.outcomes}
+    assert SessionState.EVICTED in states
+    for outcome in report.outcomes:
+        assert outcome.state in SessionState.TERMINAL + ("REJECTED",)
+        assert outcome.samples_total == sum(outcome.attempt_samples)
