@@ -40,6 +40,7 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import acceptance_probability
 from repro.experiments.sweeps import HistogramTester, complexity_sweep
 from repro.experiments.workloads import REGISTRY, BoundWorkload, make
+from repro.kernels import KERNELS, kernel_seconds_snapshot, resolve_kernel
 from repro.learning.model_selection import select_k
 from repro.observability.trace import (
     NULL_TRACER,
@@ -72,11 +73,19 @@ def _add_common(
         "(execution knob only; never changes the verdict)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default="auto",
+        help="compute kernels for the hot loops (auto | python | numba; "
+        "execution knob only — bit-identical results; REPRO_KERNEL "
+        "overrides the default)",
+    )
+    parser.add_argument(
         "--backend",
         choices=list(backends),
         default=DEFAULT_BACKEND,
         help="tester backend (changes budgets and verdicts; part of sweep "
-        "fingerprints, unlike --engine/--workers)",
+        "fingerprints, unlike --engine/--kernel/--workers)",
     )
 
 
@@ -128,19 +137,35 @@ def _print_stage_table(verdict) -> None:
         print(f"  {stage:<10}: {used_s} samples  {secs_s}")
 
 
+def _print_kernel_table() -> None:
+    """Per-op dispatch accounting from the metrics registry: which kernel
+    ran each hot loop, how many times, and for how long."""
+    rows = kernel_seconds_snapshot()
+    if not rows:
+        print("  (no kernel dispatches recorded)")
+        return
+    for op, kernel, calls, seconds in rows:
+        print(f"  {op:<28} {kernel:<8} {calls:>9,} calls  {seconds:>9.4f}s")
+
+
 def _cmd_test(args: argparse.Namespace) -> int:
     dist = make(args.workload, args.n, args.k, args.eps, rng=ensure_rng(args.seed))
     tracer = RecordingTracer() if args.trace else NULL_TRACER
     verdict = test_histogram(
         dist, args.k, args.eps, config=_config(args), rng=args.seed + 1,
-        backend=args.backend, projection_engine=args.engine, trace=tracer,
+        backend=args.backend, projection_engine=args.engine, kernel=args.kernel,
+        trace=tracer,
     )
     print(f"workload  : {args.workload} ({REGISTRY[args.workload].nature})")
     print(f"backend   : {args.backend}")
+    print(f"kernel    : {args.kernel} (resolved: {resolve_kernel(args.kernel)})")
     print(f"verdict   : {'ACCEPT' if verdict.accept else 'REJECT'} (stage: {verdict.stage})")
     print(f"reason    : {verdict.reason}")
     print(f"samples   : {verdict.samples_used:,}")
     _print_stage_table(verdict)
+    if args.stage_timings:
+        print("kernel dispatches (op / kernel / calls / seconds):")
+        _print_kernel_table()
     if args.trace:
         write_jsonl(args.trace, tracer.export())
         print(f"trace     : {args.trace} ({len(tracer.events)} events)")
@@ -152,7 +177,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
     result = select_k(
         dist, args.eps, k_max=args.k_max, repeats=args.repeats,
         config=_config(args), rng=args.seed + 1, backend=args.backend,
-        projection_engine=args.engine,
+        projection_engine=args.engine, kernel=args.kernel,
     )
     print(f"workload   : {args.workload}")
     print(f"selected k : {result.k}")
@@ -187,7 +212,9 @@ def _cmd_budget(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     workload = BoundWorkload(args.workload, args.n, args.k, args.eps)
-    tester = HistogramTester(args.k, args.eps, _config(args), args.backend)
+    tester = HistogramTester(
+        args.k, args.eps, _config(args), args.backend, args.kernel
+    )
 
     def timed(workers: int | None):
         start = time.perf_counter()
@@ -208,10 +235,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         verdict = test_histogram(
             workload(gen), args.k, args.eps, config=_config(args),
             rng=args.seed, backend=args.backend, projection_engine=args.engine,
+            kernel=args.kernel,
         )
         print(f"stage timings (1 representative trial, "
-              f"backend={args.backend}, engine={args.engine}):")
+              f"backend={args.backend}, engine={args.engine}, "
+              f"kernel={args.kernel}):")
         _print_stage_table(verdict)
+        print("kernel dispatches (op / kernel / calls / seconds):")
+        _print_kernel_table()
     if args.compare_serial:
         serial_estimate, serial_elapsed = timed(None)
         identical = serial_estimate == estimate
@@ -244,6 +275,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         resume=args.resume,
         workers=args.workers,
         backend=args.backend,
+        kernel=args.kernel,
         trace=tracer,
     )
     rows = [
@@ -276,6 +308,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_rate=args.fault_rate if args.chaos else 0.0,
         seed=args.seed,
         backend=args.backend,
+        kernel=args.kernel,
     )
     service = TesterService(ServiceConfig(tester=_config(args), workers=args.workers))
     for request in build_requests(chaos):
@@ -360,6 +393,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_test = sub.add_parser("test", help="run the k-histogram tester on a workload")
     p_test.add_argument("workload", choices=sorted(REGISTRY), help="named workload")
     _add_common(p_test)
+    p_test.add_argument(
+        "--stage-timings",
+        action="store_true",
+        default=False,
+        help="also print the per-op kernel dispatch breakdown "
+        "(which kernel ran each hot loop, calls, seconds)",
+    )
     _add_trace(p_test)
     p_test.set_defaults(func=_cmd_test)
 

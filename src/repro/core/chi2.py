@@ -30,6 +30,7 @@ import numpy as np
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.histogram import Histogram
 from repro.distributions.sampling import SampleSource
+from repro.kernels import dispatch
 from repro.util.intervals import Partition
 
 
@@ -81,12 +82,11 @@ def chi2_point_terms(
     per-stream ``m`` of shape ``(streams, 1, 1)``, computing every session's
     terms in one vectorized pass.  The arithmetic is elementwise, so the
     stacked result is bit-identical to the per-stream loop.
+
+    Dispatches on the thread's current kernel (``chi2.point_terms`` op);
+    the python and numba implementations are bit-identical.
     """
-    counts = np.asarray(counts, dtype=np.float64)
-    expected = m * reference_pmf
-    with np.errstate(divide="ignore", invalid="ignore"):
-        terms = ((counts - expected) ** 2 - counts) / expected
-    return np.where(mask & (expected > 0), terms, 0.0)
+    return dispatch("chi2.point_terms")(counts, m, reference_pmf, mask)
 
 
 def interval_statistics(
@@ -137,14 +137,25 @@ def median_interval_statistics(
     tester pipeline and the serve batch executor compute statistics away
     from the sample stream; given the same draws the result is bit-identical
     to :func:`collect_interval_statistics`.
+
+    All repeats are computed in one batch: the point terms broadcast over
+    the ``(repeats, n)`` stack (elementwise, so identical to the per-row
+    loop) and the ``serve.aggregate_rows`` kernel performs every row's
+    partition aggregation at once with ``np.add.reduceat`` semantics —
+    exactly what ``partition.aggregate`` does per row.
     """
     counts = np.asarray(counts, dtype=np.float64)
     if counts.ndim != 2:
         raise ValueError(f"counts must be (repeats, n), got shape {counts.shape}")
     ref = _reference_pmf(reference)
-    batches = np.stack(
-        [interval_statistics(row, m, ref, partition, mask) for row in counts]
-    )
+    if counts.shape[1] != len(ref):
+        raise ValueError("counts and reference cover different domains")
+    if partition.n != counts.shape[1]:
+        raise ValueError("partition does not cover the domain")
+    if m <= 0:
+        raise ValueError("expected sample size must be positive")
+    terms = chi2_point_terms(counts, m, ref, mask)
+    batches = dispatch("serve.aggregate_rows")(terms, partition.boundaries[:-1])
     return np.median(batches, axis=0)
 
 

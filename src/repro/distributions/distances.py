@@ -179,7 +179,10 @@ def _simplify_extrema(extrema: np.ndarray, target: int) -> np.ndarray:
     def swing_after(j: int) -> float:
         return abs(values[nxt[j]] - values[j]) if nxt[j] < count else float("inf")
 
-    heap = [(swing_after(j), j) for j in range(count - 1)]
+    # Seed swings in one vectorized pass; only the data-dependent merge
+    # loop below stays scalar (each pop rewires the linked list).
+    initial = np.abs(np.diff(np.asarray(extrema, dtype=np.float64)))
+    heap = [(float(s), j) for j, s in enumerate(initial)]
     heapq.heapify(heap)
     remaining = count
     while remaining > target and heap:
@@ -214,8 +217,7 @@ def _simplify_extrema(extrema: np.ndarray, target: int) -> np.ndarray:
             touched = prev[nxt[right]]
         if touched >= 0 and alive[touched] and nxt[touched] < count:
             heapq.heappush(heap, (swing_after(touched), touched))
-    result = [values[j] for j in range(count) if alive[j]]
-    return np.asarray(result)
+    return np.asarray(values, dtype=np.float64)[np.asarray(alive, dtype=bool)]
 
 
 def _max_subsequence_variation(extrema: np.ndarray, segments: int) -> float:

@@ -44,7 +44,6 @@ Two interchangeable execution engines back the public API:
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 import numpy as np
@@ -166,61 +165,60 @@ def _flattening_cost_matrix(p: np.ndarray, mask: np.ndarray) -> np.ndarray:
     return cost
 
 
-class _RunningMedianCost:
-    """Two-heap running median with sums: O(log n) insert, O(1) query of
-    ``min_c Σ |v − c|`` over the values inserted so far."""
+#: Block size (elements) for the per-row prefix matrices of
+#: :func:`_median_cost_matrix` — bounds the transient footprint to a few
+#: hundred MB at the dense cap, matching the sibling flattening build.
+_MEDIAN_BLOCK_ELEMS = 1 << 24
 
-    __slots__ = ("_low", "_high", "_low_sum", "_high_sum")
 
-    def __init__(self) -> None:
-        self._low: list[float] = []  # max-heap (negated): values <= median
-        self._high: list[float] = []  # min-heap: values > median
-        self._low_sum = 0.0
-        self._high_sum = 0.0
+def _prefix_median_costs(mvals: np.ndarray) -> np.ndarray:
+    """``out[s-1]`` = ``min_c Σ_{r ≤ s} |mvals_r − c|`` for every prefix.
 
-    def insert(self, value: float) -> None:
-        if not self._low or value <= -self._low[0]:
-            heapq.heappush(self._low, -value)
-            self._low_sum += value
-        else:
-            heapq.heappush(self._high, value)
-            self._high_sum += value
-        # Rebalance so len(low) is len(high) or len(high) + 1.
-        if len(self._low) > len(self._high) + 1:
-            moved = -heapq.heappop(self._low)
-            self._low_sum -= moved
-            heapq.heappush(self._high, moved)
-            self._high_sum += moved
-        elif len(self._high) > len(self._low):
-            moved = heapq.heappop(self._high)
-            self._high_sum -= moved
-            heapq.heappush(self._low, -moved)
-            self._low_sum += moved
-
-    def cost(self) -> float:
-        if not self._low:
-            return 0.0
-        median = -self._low[0]
-        below = median * len(self._low) - self._low_sum
-        above = self._high_sum - median * len(self._high)
-        return below + above
+    Vectorised prefix-median costs: sort once, then for each prefix length
+    ``s`` locate the ``⌈s/2⌉``-th smallest (the lower median) by counting
+    which sorted elements were inserted by time ``s``.  With ``low_sum``
+    the sum of the ``⌈s/2⌉`` smallest, the cost is
+    ``total_s − 2·low_sum + med·(2·⌈s/2⌉ − s)`` — the below/above split
+    around the median.  O(m²) elementwise work per call (the same shape as
+    the flattening build's per-row triangle), blocked to bound memory.
+    """
+    m = len(mvals)
+    total = np.cumsum(mvals)
+    order = np.argsort(mvals, kind="stable")
+    u = mvals[order]
+    t = order + 1  # insertion time (1-based) of each sorted element
+    out = np.empty(m, dtype=np.float64)
+    block = max(1, _MEDIAN_BLOCK_ELEMS // max(m, 1))
+    for start in range(0, m, block):
+        s = np.arange(start + 1, min(start + block, m) + 1)
+        incl = t[None, :] <= s[:, None]  # (S, m): in prefix s?
+        k = (s + 1) // 2  # lower-median rank
+        cnt = np.cumsum(incl, axis=1)
+        medpos = np.argmax(cnt >= k[:, None], axis=1)
+        med = u[medpos]
+        low_sum = np.take_along_axis(
+            np.cumsum(np.where(incl, u, 0.0), axis=1), medpos[:, None], axis=1
+        ).ravel()
+        out[start : start + len(s)] = total[s - 1] - 2.0 * low_sum + med * (2 * k - s)
+    return out
 
 
 def _median_cost_matrix(p: np.ndarray, mask: np.ndarray) -> np.ndarray:
     """``C[i, j]`` = min over constants ``c`` of masked ``Σ |p_t − c|``.
 
-    The optimum is the median of the masked values; maintained incrementally
-    per row with a two-heap running median (O(n² log n) overall).
+    The optimum is the median of the masked values; each row's running
+    costs come from one vectorised prefix-median pass over the masked tail
+    (see :func:`_prefix_median_costs`), then spread to the unmasked
+    columns, where the cost stays flat.
     """
     n = len(p)
     cost = np.full((n + 1, n + 1), np.inf)
     np.fill_diagonal(cost, 0.0)
     for i in range(n):
-        tracker = _RunningMedianCost()
-        for j in range(i + 1, n + 1):
-            if mask[j - 1]:
-                tracker.insert(float(p[j - 1]))
-            cost[i, j] = tracker.cost()
+        tmask = mask[i:]
+        mvals = p[i:][tmask]
+        by_prefix = np.concatenate(([0.0], _prefix_median_costs(mvals)))
+        cost[i, i + 1 :] = by_prefix[np.cumsum(tmask)]
     return cost
 
 
@@ -510,33 +508,27 @@ def coarse_flattening_projection(
             cost[a, a + 1 :] = dev.diagonal()
     else:
         # Generic path: within-piece values vary, so evaluate each piece's
-        # deviation from the merged mean through its sorted values.
-        piece_sorted = []
-        piece_prefix = []
+        # deviation from the merged mean through its sorted values.  One
+        # pass per piece: every (a, b) pair with a ≤ q < b needs
+        # piece_error(q, μ_ab), so batch the whole (a, b) block of means
+        # through a single searchsorted against piece q's sorted values and
+        # accumulate the block into the cost matrix.  Accumulation runs q
+        # ascending — the same order as summing q ∈ [a, b) per pair.
+        cost = np.zeros((big_k + 1, big_k + 1))
+        cost[np.tril_indices(big_k + 1, k=-1)] = np.inf
         for q in range(big_k):
+            if not kept[q]:
+                continue
             seg = np.sort(p[base[q].slice()])
-            piece_sorted.append(seg)
-            piece_prefix.append(np.concatenate(([0.0], np.cumsum(seg))))
-
-        def piece_error(q: int, mu: float) -> float:
-            """Σ_{t in piece q} |p_t − mu| via binary search on sorted values."""
-            seg = piece_sorted[q]
-            pre = piece_prefix[q]
-            pos = int(np.searchsorted(seg, mu))
-            below = mu * pos - pre[pos]
-            above = (pre[-1] - pre[pos]) - mu * (len(seg) - pos)
-            return below + above
-
-        cost = np.full((big_k + 1, big_k + 1), np.inf)
-        np.fill_diagonal(cost, 0.0)
-        for a in range(big_k):
-            for b in range(a + 1, big_k + 1):
-                mu = (mass_prefix[b] - mass_prefix[a]) / (len_prefix[b] - len_prefix[a])
-                total = 0.0
-                for q in range(a, b):
-                    if kept[q]:
-                        total += piece_error(q, mu)
-                cost[a, b] = total
+            pre = np.concatenate(([0.0], np.cumsum(seg)))
+            # μ_ab for a ∈ [0, q], b ∈ (q, big_k]: shape (q + 1, big_k - q).
+            mus = (mass_prefix[None, q + 1 :] - mass_prefix[: q + 1, None]) / (
+                len_prefix[None, q + 1 :] - len_prefix[: q + 1, None]
+            )
+            pos = np.searchsorted(seg, mus)
+            below = mus * pos - pre[pos]
+            above = (pre[-1] - pre[pos]) - mus * (len(seg) - pos)
+            cost[: q + 1, q + 1 :] += below + above
 
     l1, coarse_bounds = _interval_dp(cost, k)
     domain_bounds = base.boundaries[coarse_bounds]

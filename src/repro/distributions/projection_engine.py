@@ -19,13 +19,16 @@ the elements below/above ``μ`` can be aggregated:
 
 where ``W_{<c}(a, b)`` / ``S_{<c}(a, b)`` are the masked weight / masked
 weight·value totals of elements with value below ``c``.  Those are served
-by a Fenwick-block rank tree (:class:`_RankTree`): prefix ``[0, x)``
-decomposes into the blocks given by the set bits of ``x``; each level
-stores its blocks sorted by **integer global value rank** (a float
-"offset" key would lose low-order bits and misclassify values within a few
-ulp of ``μ``) together with running sums of the masked weights in that
-order, so a batched query is one ``searchsorted`` + gathers per level —
-O(log n) amortised per interval after an O(n log² n) preprocess.  The
+by a Fenwick-block rank tree (the ``rank_tree.*`` ops of
+:mod:`repro.kernels`): prefix ``[0, x)`` decomposes into the blocks given
+by the set bits of ``x``; each level stores its blocks sorted by
+**integer global value rank** (a float "offset" key would lose low-order
+bits and misclassify values within a few ulp of ``μ``) together with
+running sums of the masked weights in that order.  The tree is stored as
+flat arrays with per-level key offsets so a batched query across *all*
+levels of *all* queries is a single ``searchsorted`` (python kernel) or a
+jitted per-query bisect loop (numba kernel) — O(log n) amortised per
+interval after an O(n log² n) preprocess.  The
 median (unconstrained ℓ1) variant binary-searches the weighted lower
 median over global value ranks with the same primitive, matching the
 dense two-heap tracker's lower-median convention.
@@ -67,11 +70,20 @@ inside the 1e-12 budget of the golden-equivalence suite.  Ties between
 verified candidates resolve to the smallest ``i``, matching the dense
 ``np.argmin`` convention.  Memory is O(n·k) for the parent table plus
 O(n log n) for the tree and tables.
+
+The hot primitives — rank-tree build/query, aligned-block cost tables, the
+canonical cover walk, per-segment first-minima — live in
+:mod:`repro.kernels` and dispatch on the fingerprint-safe ``kernel`` knob
+(``python``/``numba``); both implementations of every op are bit-identical,
+so the engine's results are independent of the kernel in use.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.kernels import dispatch, resolve_kernel
+from repro.observability.metrics import get_metrics
 
 #: Per-layer exactness slack of the verification pass; total error over a
 #: k-layer run is at most k times this.
@@ -86,9 +98,51 @@ _OBJECTIVES = ("flattening", "median")
 
 def _count_cost_evals(objective: str, pairs: int) -> None:
     """Meter oracle cost evaluations (one count per (a, b) pair queried)."""
-    from repro.observability.metrics import get_metrics
-
     get_metrics().counter("projection.oracle_cost_evals", objective=objective).inc(pairs)
+
+
+def _count_cache_hits(objective: str, pairs: int) -> None:
+    get_metrics().counter("projection.oracle_cache_hits", objective=objective).inc(pairs)
+
+
+#: Fibonacci-hash multiplier (2⁶⁴/φ as a signed int64 bit pattern).
+_HASH_MULT = np.int64(0x9E3779B97F4A7C15 - (1 << 64))
+
+
+class _PairCostCache:
+    """Direct-mapped exact-value cache for per-pair interval costs.
+
+    The verified DP re-queries the same ``(a, b)`` pairs across layers
+    (~3.5× repetition at the E22 anchor), and interval costs are
+    layer-independent, so a small cache recovers most of that work.
+    Direct-mapped with the stored key as the collision check: a hit
+    returns the *exact* float computed earlier (never an approximation),
+    so results — and cross-kernel bit-identity — are unchanged; a
+    collision simply overwrites (stale entries cost a re-evaluation, not
+    correctness).  The table is sized O(n) (512 slots per element, capped
+    at 2²⁰ → ≤ 16 MB), which preserves the engine's O(n·k) peak-memory
+    contract — an exhaustive pair map would be Θ(n²).
+    """
+
+    __slots__ = ("keys", "vals", "shift", "mask")
+
+    def __init__(self, n: int):
+        bits = min(20, max(14, (max(int(n), 1) * 512).bit_length() - 1))
+        size = 1 << bits
+        self.keys = np.full(size, -1, dtype=np.int64)
+        self.vals = np.empty(size, dtype=np.float64)
+        self.shift = np.int64(63 - bits)
+        self.mask = np.int64(size - 1)
+
+    def lookup(self, key: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(slot, hit-mask, cached values-where-hit) for a key batch."""
+        slot = ((key * _HASH_MULT) >> self.shift) & self.mask
+        hit = self.keys[slot] == key
+        return slot, hit, self.vals[slot]
+
+    def store(self, slot: np.ndarray, key: np.ndarray, vals: np.ndarray) -> None:
+        self.keys[slot] = key
+        self.vals[slot] = vals
 
 
 def _sparse_table(arr: np.ndarray, op) -> np.ndarray:
@@ -105,84 +159,6 @@ def _sparse_table(arr: np.ndarray, op) -> np.ndarray:
     return st
 
 
-def _block_l1_costs(v: np.ndarray, wm: np.ndarray, b: int) -> np.ndarray:
-    """Optimal masked ℓ1 cost of every aligned level-``b`` block against its
-    own best constant (the weighted median).  The trailing partial block is
-    scored over its actual elements, so every entry is a valid bound."""
-    n = len(v)
-    size = 1 << b
-    nblocks = -(n // -size)
-    pad = nblocks * size - n
-    vp = np.concatenate((v, np.zeros(pad)))
-    wp = np.concatenate((wm, np.zeros(pad)))
-    order = np.argsort(vp.reshape(nblocks, size), axis=1, kind="stable")
-    sv = np.take_along_axis(vp.reshape(nblocks, size), order, axis=1)
-    sw = np.take_along_axis(wp.reshape(nblocks, size), order, axis=1)
-    cumw = np.cumsum(sw, axis=1)
-    cumwv = np.cumsum(sw * sv, axis=1)
-    tot = cumw[:, -1]
-    totv = cumwv[:, -1]
-    rows = np.arange(nblocks)
-    pos = (cumw >= 0.5 * tot[:, None]).argmax(axis=1)
-    c = sv[rows, pos]
-    w_lt = np.where(pos > 0, cumw[rows, pos - 1], 0.0)
-    wv_lt = np.where(pos > 0, cumwv[rows, pos - 1], 0.0)
-    below = c * w_lt - wv_lt
-    above = (totv - wv_lt) - c * (tot - w_lt)
-    return np.maximum(below, 0.0) + np.maximum(above, 0.0)
-
-
-class _RankTree:
-    """Fenwick-block structure for batched masked prefix statistics.
-
-    ``prefix_stats(x, L)`` returns, for each query, the masked weight and
-    masked weight·value totals over elements at positions ``< x`` whose
-    global value rank is ``< L``.  Value ranks are dense integer indices
-    into ``unique_vals``, so all comparisons are exact.
-    """
-
-    __slots__ = ("unique_vals", "_stride", "_levels")
-
-    def __init__(self, values: np.ndarray, wm: np.ndarray, wvm: np.ndarray):
-        n = len(values)
-        self.unique_vals = np.unique(values)
-        stride = len(self.unique_vals) + 1
-        self._stride = stride
-        ranks = np.searchsorted(self.unique_vals, values).astype(np.int64)
-        levels = []
-        b = 0
-        while (n >> b) >= 1:
-            nblocks = n >> b
-            covered = nblocks << b
-            resh = ranks[:covered].reshape(nblocks, 1 << b)
-            order = np.argsort(resh, axis=1, kind="stable")
-            block_base = (np.arange(nblocks, dtype=np.int64) << b)[:, None]
-            flat = (order + block_base).ravel()
-            keys = (
-                np.take_along_axis(resh, order, axis=1)
-                + np.arange(nblocks, dtype=np.int64)[:, None] * stride
-            ).ravel()
-            cw = np.concatenate(([0.0], np.cumsum(wm[flat])))
-            cwv = np.concatenate(([0.0], np.cumsum(wvm[flat])))
-            levels.append((keys, cw, cwv))
-            b += 1
-        self._levels = levels
-
-    def prefix_stats(self, x: np.ndarray, L: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        w = np.zeros(len(x), dtype=np.float64)
-        wv = np.zeros(len(x), dtype=np.float64)
-        for b, (keys, cw, cwv) in enumerate(self._levels):
-            idx = np.flatnonzero((x >> b) & 1)
-            if idx.size == 0:
-                continue
-            blk = (x[idx] >> b) - 1
-            start = blk << b
-            pos = np.searchsorted(keys, blk * self._stride + L[idx], side="left")
-            w[idx] += cw[pos] - cw[start]
-            wv[idx] += cwv[pos] - cwv[start]
-        return w, wv
-
-
 class IntervalCostOracle:
     """Batched interval costs over weighted masked values.
 
@@ -191,6 +167,9 @@ class IntervalCostOracle:
     optimum over constants (weighted lower median).  ``mean_numerator``
     optionally overrides the per-element numerator of the mean (the coarse
     path passes interval masses so ``μ`` matches the dense build bitwise).
+    ``kernel`` selects the implementation family for the hot primitives
+    (resolved once at construction; ``None`` follows the thread's current
+    kernel) — results are bit-identical across kernels.
     """
 
     def __init__(
@@ -200,6 +179,7 @@ class IntervalCostOracle:
         mask: np.ndarray,
         *,
         mean_numerator: np.ndarray | None = None,
+        kernel: str | None = None,
     ):
         v = np.ascontiguousarray(values, dtype=np.float64)
         w = np.ascontiguousarray(weights, dtype=np.float64)
@@ -210,6 +190,7 @@ class IntervalCostOracle:
         if n and float(w.min()) <= 0.0:
             raise ValueError("weights must be strictly positive")
         self.n = n
+        self.kernel = resolve_kernel(kernel)
         num = w * v if mean_numerator is None else np.asarray(mean_numerator, np.float64)
         wm = np.where(m, w, 0.0)
         wvm = wm * v
@@ -217,27 +198,21 @@ class IntervalCostOracle:
         self._num_pre = np.concatenate(([0.0], np.cumsum(num)))
         self._mw_pre = np.concatenate(([0.0], np.cumsum(wm)))
         self._mwv_pre = np.concatenate(([0.0], np.cumsum(wvm)))
-        self._tree = _RankTree(v, wm, wvm)
+        self._tree = dispatch("rank_tree.build", self.kernel)(v, wm, wvm)
+        self._prefix_stats = dispatch("rank_tree.prefix_stats", self.kernel)
+        self._interval_stats = dispatch("rank_tree.interval_stats", self.kernel)
         self._st_hi = _sparse_table(np.where(m, v, -np.inf), np.maximum)
         self._st_lo = _sparse_table(np.where(m, v, np.inf), np.minimum)
         masked_w = w[m]
         self._r_scale = float(min(1.0, masked_w.min())) if masked_w.size else 1.0
-        self._block_costs = []
-        self._block_prefix = []
-        b = 0
-        while n and (1 << b) <= n:
-            costs = _block_l1_costs(v, wm, b)
-            self._block_costs.append(costs)
-            self._block_prefix.append(np.concatenate(([0.0], np.cumsum(costs))))
-            b += 1
-        # Padded 2D copy of the per-level prefixes so a per-pair,
-        # length-adaptive level can be gathered in one fancy-index.
-        if self._block_prefix:
-            self._block_prefix2d = np.zeros((len(self._block_prefix), n + 1))
-            for lev, pref in enumerate(self._block_prefix):
-                self._block_prefix2d[lev, : len(pref)] = pref
-        else:
-            self._block_prefix2d = np.zeros((0, n + 1))
+        # Flat per-level aligned-block cost tables (preallocated build; the
+        # padded 2-D prefix lets a per-pair, length-adaptive level be
+        # gathered in one fancy-index).
+        self._bc_flat, self._bc_off, self._block_prefix2d, self._bc_levels = dispatch(
+            "blocks.build", self.kernel
+        )(v, wm)
+        self._cover_walk = dispatch("blocks.cover_walk", self.kernel)
+        self._cost_cache: dict[str, _PairCostCache] = {}
 
     # -- admissible lower bound ------------------------------------------
 
@@ -260,22 +235,7 @@ class IntervalCostOracle:
         """Sum of per-block optimal ℓ1 costs over the canonical segment-tree
         cover of ``[a, b)`` — superadditivity makes it a lower bound on both
         objectives, with no edge slack."""
-        out = np.zeros(len(a), dtype=np.float64)
-        l = a.astype(np.int64).copy()
-        r = b.astype(np.int64).copy()
-        for costs in self._block_costs:
-            live = l < r
-            if not live.any():
-                break
-            odd_l = live & ((l & 1) == 1)
-            out[odd_l] += costs[l[odd_l]]
-            l[odd_l] += 1
-            odd_r = live & ((r & 1) == 1)
-            r[odd_r] -= 1
-            out[odd_r] += costs[r[odd_r]]
-            l >>= 1
-            r >>= 1
-        return out
+        return self._cover_walk(self._bc_flat, self._bc_off, self._bc_levels, a, b)
 
     def aligned_lower_bound(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Sum of aligned-block costs fully inside ``[a, b)`` at a per-pair
@@ -283,9 +243,9 @@ class IntervalCostOracle:
         canonical cover but only two gathers, so it runs first."""
         length = b - a
         lev = np.frexp(np.maximum(length, 1).astype(np.float64))[1] - 2
-        np.clip(lev, 0, len(self._block_costs) - 1, out=lev)
+        np.clip(lev, 0, self._bc_levels - 1, out=lev)
         step = np.int64(1) << lev
-        lo_blk = -(a // -step)
+        lo_blk = (a + step - 1) >> lev  # ceil(a / step) via shifts, a >= 0
         hi_blk = b >> lev
         diff = self._block_prefix2d[lev, hi_blk] - self._block_prefix2d[lev, lo_blk]
         # lo_blk may land past the last full block (zero padding), which
@@ -296,7 +256,7 @@ class IntervalCostOracle:
         """Separable candidate test at block level ``b``: candidate ``(i, j)``
         pairs are exactly ``{φ(i) < ψ(j)}``, an admissible relaxation of
         ``f_prev(i) + block-cost(i, j) < T(j)``."""
-        prefix = self._block_prefix[b]
+        prefix = self._block_prefix2d[b]
         idx = np.arange(self.n + 1, dtype=np.int64)
         phi = f_prev - prefix[-(idx // -(1 << b))]
         psi = T - prefix[idx >> b]
@@ -304,7 +264,7 @@ class IntervalCostOracle:
 
     @property
     def num_levels(self) -> int:
-        return len(self._block_costs)
+        return self._bc_levels
 
     # -- shared helpers ---------------------------------------------------
 
@@ -312,12 +272,7 @@ class IntervalCostOracle:
         """Masked ℓ1 error of ``[a, b)`` against per-interval constant ``c``,
         given the rank cut-off for strict (< c) membership.  Elements equal
         to ``c`` contribute zero either side, so the strict cut suffices."""
-        xs = np.concatenate((a, b))
-        Ls = np.concatenate((L_lt, L_lt))
-        w, wv = self._tree.prefix_stats(xs, Ls)
-        m = len(a)
-        w_lt = w[m:] - w[:m]
-        wv_lt = wv[m:] - wv[:m]
+        w_lt, wv_lt = self._interval_stats(self._tree, a, b, L_lt)
         mw = self._mw_pre[b] - self._mw_pre[a]
         mwv = self._mwv_pre[b] - self._mwv_pre[a]
         below = c * w_lt - wv_lt
@@ -326,9 +281,38 @@ class IntervalCostOracle:
 
     # -- objectives -------------------------------------------------------
 
-    def flattening_costs(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def _cached(self, objective: str, a, b, raw) -> np.ndarray:
+        """Serve exact per-pair costs through the direct-mapped cache.
+
+        Each query pair is independent of its batchmates (the same
+        argument that lets the kernels chunk queries), so evaluating only
+        the misses and splicing in previously computed values changes
+        nothing but the work done.  Eval order is deterministic, hence so
+        is the cache state — verdicts and traces are byte-identical with
+        or without hits, across kernels, and across replays.
+        """
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
+        cache = self._cost_cache.get(objective)
+        if cache is None:
+            cache = self._cost_cache[objective] = _PairCostCache(self.n)
+        key = a * np.int64(self.n + 1) + b  # a, b in [0, n]: injective, >= 0
+        slot, hit, out = cache.lookup(key)
+        miss = np.flatnonzero(~hit)
+        if miss.size:
+            vals = raw(a[miss], b[miss])
+            out[miss] = vals
+            cache.store(slot[miss], key[miss], vals)
+        _count_cache_hits(objective, len(a) - miss.size)
+        return out
+
+    def flattening_costs(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._cached("flattening", a, b, self._flattening_costs_raw)
+
+    def median_costs(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._cached("median", a, b, self._median_costs_raw)
+
+    def _flattening_costs_raw(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         _count_cost_evals("flattening", len(a))
         out = np.zeros(len(a), dtype=np.float64)
         nz = b > a
@@ -342,9 +326,7 @@ class IntervalCostOracle:
         out[nz] = self._below_above(aa, bb, mu, L_lt)
         return out
 
-    def median_costs(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.int64)
-        b = np.asarray(b, dtype=np.int64)
+    def _median_costs_raw(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         _count_cost_evals("median", len(a))
         out = np.zeros(len(a), dtype=np.float64)
         mw = self._mw_pre[b] - self._mw_pre[a]
@@ -365,10 +347,7 @@ class IntervalCostOracle:
             if run.size == 0:
                 break
             mid = (lo[run] + hi[run]) >> 1
-            xs = np.concatenate((aa[run], bb[run]))
-            Ls = np.concatenate((mid + 1, mid + 1))
-            w, _ = self._tree.prefix_stats(xs, Ls)
-            wle = w[len(run) :] - w[: len(run)]
+            wle, _ = self._interval_stats(self._tree, aa[run], bb[run], mid + 1)
             reach = wle >= half[run]
             hi[run[reach]] = mid[reach]
             lo[run[~reach]] = mid[~reach] + 1
@@ -382,19 +361,7 @@ class IntervalCostOracle:
 # ---------------------------------------------------------------------------
 
 
-def _segment_first_min(vals, starts, i_arr):
-    """Per-segment minimum value and the smallest ``i`` attaining it
-    (matching the dense ``np.argmin`` first-minimum convention; ``i_arr``
-    need not be sorted within a segment)."""
-    mins = np.minimum.reduceat(vals, starts)
-    sizes = np.diff(np.append(starts, len(vals)))
-    rep = np.repeat(mins, sizes)
-    cand = np.where(vals == rep, i_arr, np.iinfo(np.int64).max)
-    argi = np.minimum.reduceat(cand, starts)
-    return mins, argi
-
-
-def _dc_upper_bound(f_prev, cost_fn, n):
+def _dc_upper_bound(f_prev, cost_fn, n, seg_min):
     """Breadth-first D&C pass: upper bounds + candidate parents per ``j``."""
     g = np.empty(n + 1, dtype=np.float64)
     par = np.zeros(n + 1, dtype=np.int64)
@@ -411,7 +378,7 @@ def _dc_upper_bound(f_prev, cost_fn, n):
         i_arr = np.repeat(ilo - starts, counts) + np.arange(total, dtype=np.int64)
         j_arr = np.repeat(jm, counts)
         vals = f_prev[i_arr] + cost_fn(i_arr, j_arr)
-        mins, argi = _segment_first_min(vals, starts, i_arr)
+        mins, argi = seg_min(vals, starts, i_arr)
         g[jm] = mins
         par[jm] = argi
         left = jm - 1 >= jlo
@@ -428,12 +395,18 @@ def _dc_upper_bound(f_prev, cost_fn, n):
 _POLISH_SWEEPS = 1
 
 
-def _polish_upper_bound(f_prev, g, par, cost_fn, n, prev_par=None):
+def _polish_upper_bound(f_prev, g, par, cost_fn, n, seg_min, prev_par=None):
     """Cheap post-D&C polish of the upper bound: for every ``j`` probe the
     neighbours' incumbent split points, the previous layer's parent, and
     geometric offsets around the incumbent, keeping ``g``/``par`` admissible
     upper bounds throughout.  A tight ``g`` is what makes the verification
-    threshold ``T`` sharp, so this directly shrinks the candidate flood."""
+    threshold ``T`` sharp, so this directly shrinks the candidate flood.
+
+    The geometric ``par ± t`` probes clip-saturate to ``0``/``j`` for most
+    ``t``, so the per-``j`` candidate sets are deduplicated before hitting
+    the oracle (identical (i, j) pairs cost the same, and the first-min
+    convention picks the smallest ``i`` either way — the dedup is
+    result-invariant, it only removes redundant evaluations)."""
     j = np.arange(n + 1, dtype=np.int64)
     for _ in range(_POLISH_SWEEPS):
         cand = [
@@ -447,12 +420,18 @@ def _polish_upper_bound(f_prev, g, par, cost_fn, n, prev_par=None):
             cand.append(np.clip(par - t, 0, j))
             cand.append(np.clip(par + t, 0, j))
             t <<= 1
-        i_mat = np.stack(cand)
-        m = i_mat.shape[0]
-        flat = i_mat.ravel()
-        vals = (f_prev[flat] + cost_fn(flat, np.tile(j, m))).reshape(m, n + 1)
-        val_min = vals.min(axis=0)
-        i_min = np.where(vals == val_min[None, :], i_mat, np.int64(n + 2)).min(axis=0)
+        # (n+1, m) column-per-j layout; sort within each j's candidate set
+        # and drop repeats, keeping the flattened order j-major/i-ascending.
+        i_mat = np.sort(np.stack(cand, axis=1), axis=1)
+        keep = np.empty(i_mat.shape, dtype=bool)
+        keep[:, 0] = True
+        keep[:, 1:] = i_mat[:, 1:] != i_mat[:, :-1]
+        counts = keep.sum(axis=1)
+        i_arr = i_mat[keep]
+        j_arr = np.repeat(j, counts)
+        starts = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        vals = f_prev[i_arr] + cost_fn(i_arr, j_arr)
+        val_min, i_min = seg_min(vals, starts, i_arr)
         better = (val_min < g) | ((val_min == g) & (i_min < par))
         g[better] = val_min[better]
         par[better] = i_min[better]
@@ -469,7 +448,7 @@ def _dp_refine_layers(r: int) -> list[int]:
     return ms
 
 
-def _verify_layer(fs, g, par, oracle, cost_fn, tol):
+def _verify_layer(fs, g, par, oracle, cost_fn, tol, seg_min):
     """Exactness pass: evaluate every candidate whose admissible lower bound
     beats ``g − tol``; updates ``g``/``par`` in place.
 
@@ -551,7 +530,7 @@ def _verify_layer(fs, g, par, oracle, cost_fn, tol):
             if len(i_arr):
                 vals = f_prev[i_arr] + cost_fn(i_arr, j_arr)
                 ju, starts = np.unique(j_arr, return_index=True)
-                mins, argi = _segment_first_min(vals, starts, i_arr)
+                mins, argi = seg_min(vals, starts, i_arr)
                 better = (mins < g[ju]) | ((mins == g[ju]) & (argi < par[ju]))
                 g[ju[better]] = mins[better]
                 par[ju[better]] = argi[better]
@@ -569,6 +548,7 @@ def project_intervals(
     tol: float = DEFAULT_TOL,
     return_profile: bool = False,
     mean_numerator=None,
+    kernel: str | None = None,
 ):
     """Minimise the total interval cost of splitting ``[0, n)`` into at most
     ``pieces`` intervals; the fast equivalent of building a dense cost
@@ -586,10 +566,14 @@ def project_intervals(
     pieces = min(int(pieces), n)
     if pieces < 1:
         raise ValueError(f"need at least one piece, got {pieces}")
-    oracle = IntervalCostOracle(v, weights, mask, mean_numerator=mean_numerator)
+    kernel = resolve_kernel(kernel)
+    oracle = IntervalCostOracle(
+        v, weights, mask, mean_numerator=mean_numerator, kernel=kernel
+    )
     cost_fn = (
         oracle.flattening_costs if objective == "flattening" else oracle.median_costs
     )
+    seg_min = dispatch("dp.segment_first_min", kernel)
     f = np.full(n + 1, np.inf)
     f[0] = 0.0
     fs = [f]
@@ -597,9 +581,9 @@ def project_intervals(
     profile = np.empty(pieces, dtype=np.float64)
     prev_par = None
     for r in range(pieces):
-        g, par = _dc_upper_bound(f, cost_fn, n)
-        _polish_upper_bound(f, g, par, cost_fn, n, prev_par)
-        _verify_layer(fs, g, par, oracle, cost_fn, tol)
+        g, par = _dc_upper_bound(f, cost_fn, n, seg_min)
+        _polish_upper_bound(f, g, par, cost_fn, n, seg_min, prev_par)
+        _verify_layer(fs, g, par, oracle, cost_fn, tol, seg_min)
         f = g
         fs.append(f)
         prev_par = par

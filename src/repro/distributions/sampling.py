@@ -24,11 +24,17 @@ from repro.util.rng import RandomState, child_rng, ensure_rng
 
 
 def counts_from_samples(samples: np.ndarray, n: int) -> np.ndarray:
-    """Occurrence counts ``N_i`` over the domain ``{0, …, n-1}``."""
+    """Occurrence counts ``N_i`` over the domain ``{0, …, n-1}``.
+
+    Counting dispatches on the current kernel (``sampling.counts_from_samples``
+    op) — integer-exact either way, so the knob cannot affect results.
+    """
+    from repro.kernels import dispatch
+
     samples = np.asarray(samples, dtype=np.int64)
     if len(samples) and (samples.min() < 0 or samples.max() >= n):
         raise ValueError("samples outside the domain")
-    return np.bincount(samples, minlength=n).astype(np.int64)
+    return dispatch("sampling.counts_from_samples")(samples, n)
 
 
 def charge_units(m: float) -> int:

@@ -22,6 +22,7 @@ from repro.core.tester import test_histogram
 from repro.distributions import families
 from repro.distributions.discrete import DiscreteDistribution
 from repro.experiments.estimate import ComplexityEstimate, empirical_sample_complexity
+from repro.kernels import validate_kernel
 from repro.observability.trace import NULL_TRACER, Tracer
 from repro.robustness.checkpoint import CheckpointStore, load_if_matching, resolve_store
 from repro.robustness.resilience import TrialPolicy
@@ -102,6 +103,7 @@ class HistogramTester:
     eps: float
     config: TesterConfig
     backend: str = DEFAULT_BACKEND
+    kernel: str = "auto"
 
     #: Advertises the ``trace=`` keyword to the trial runner (see
     #: :data:`repro.experiments.runner.Tester`); a class attribute, so the
@@ -115,6 +117,7 @@ class HistogramTester:
             self.eps,
             config=self.config,
             backend=self.backend,
+            kernel=self.kernel,
             trace=trace,
         ).accept
 
@@ -127,9 +130,12 @@ class HistogramTesterFamily:
     eps: float
     config: TesterConfig
     backend: str = DEFAULT_BACKEND
+    kernel: str = "auto"
 
     def __call__(self, scale: float) -> HistogramTester:
-        return HistogramTester(self.k, self.eps, self.config.scaled(scale), self.backend)
+        return HistogramTester(
+            self.k, self.eps, self.config.scaled(scale), self.backend, self.kernel
+        )
 
 
 def _default_workloads(
@@ -226,6 +232,7 @@ def complexity_sweep(
     policy: TrialPolicy | None = None,
     workers: int | None = None,
     backend: str = DEFAULT_BACKEND,
+    kernel: str = "auto",
     label_ground_truth: bool = False,
     trace: Tracer = NULL_TRACER,
 ) -> SweepResult:
@@ -258,6 +265,12 @@ def complexity_sweep(
     verdicts, so it **is** part of the checkpoint fingerprint: a
     checkpoint written under one backend never resumes under the other.
 
+    ``kernel`` selects the compute kernels ("auto" | "python" | "numba").
+    Like the worker count it is an execution knob — every kernel pair is
+    bit-identical — so it is deliberately **excluded** from the checkpoint
+    fingerprint: a sweep checkpointed under one kernel resumes under any
+    other.
+
     ``label_ground_truth`` additionally computes certified
     ``dTV(·, H_k)`` bounds for one representative complete/far instance per
     sweep point (memoized via
@@ -281,6 +294,7 @@ def complexity_sweep(
     if workers is None:
         workers = config.workers
     validate_backend(backend)
+    validate_kernel(kernel)
     make_workloads = workloads if workloads is not None else _default_workloads
 
     store = resolve_store(checkpoint)
@@ -292,9 +306,10 @@ def complexity_sweep(
                 "checkpointing requires an integer seed for rng — a resumed "
                 "sweep must replay the exact per-point streams"
             )
-        # The worker count never enters the fingerprint: results are
-        # bit-identical at any count, so a checkpoint must resume across
-        # machines with different parallelism.
+        # Neither the worker count nor the kernel ever enters the
+        # fingerprint: results are bit-identical at any count and under any
+        # kernel, so a checkpoint must resume across machines with
+        # different parallelism or native extras.
         config_print = asdict(config)
         config_print.pop("workers", None)
         fingerprint = {
@@ -328,7 +343,7 @@ def complexity_sweep(
         else:
             cur_eps = float(value)
         complete, far = make_workloads(cur_n, cur_k, cur_eps)
-        family = HistogramTesterFamily(cur_k, cur_eps, config, backend)
+        family = HistogramTesterFamily(cur_k, cur_eps, config, backend, kernel)
         with trace.span(
             "point", axis=axis, value=float(value), n=cur_n, k=cur_k, eps=cur_eps
         ):

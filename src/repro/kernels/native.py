@@ -1,0 +1,357 @@
+"""JIT-compiled (numba) kernel implementations — the ``repro[native]`` extra.
+
+This module is import-gated: ``import repro.kernels.native`` raises
+``ImportError`` when numba is not installed, and
+:func:`repro.kernels.state.native_available` treats that as "native kernels
+absent".  Nothing else in the package imports this module unconditionally.
+
+Every kernel here is a *bit-identical* mirror of its pure-numpy reference in
+:mod:`repro.kernels.pykernels`: the jitted loops perform the same
+floating-point operations in the same order —
+
+* rank-tree queries add per-level contributions in ascending level order
+  with a scalar accumulator, exactly like the python kernel's ``bincount``
+  (which accumulates its level-major input element by element; interval
+  covers add the left edge before the right within a level);
+* segment sums run strictly left to right, matching ``np.add.reduceat``'s
+  sequential (non-pairwise) in-segment accumulation;
+* the χ² point-term expression evaluates ``((c - e)·(c - e) - c) / e`` —
+  the same multiply/subtract/divide sequence numpy's vectorized
+  ``((counts - expected) ** 2 - counts) / expected`` performs elementwise.
+
+That contract is what lets ``kernel`` stay a fingerprint-safe knob: the
+``tests/kernels`` equivalence suite asserts byte-identical outputs whenever
+numba is installed.
+
+Ops with no native win (``rank_tree.build``, ``blocks.build`` — already
+pure vectorized numpy) are intentionally not registered here; dispatch
+falls back to their python implementations even under ``kernel="numba"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.kernels.dispatch import register
+from repro.kernels.pykernels import (
+    RankTreeData,
+    chi2_point_terms as _py_chi2_point_terms,
+)
+
+_I64_MAX = np.iinfo(np.int64).max
+
+
+@njit(cache=True)
+def _bisect_left(arr: np.ndarray, lo: int, hi: int, key: int) -> int:
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if arr[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@njit(cache=True)
+def _prefix_stats_jit(
+    keys: np.ndarray,
+    cw: np.ndarray,
+    cwv: np.ndarray,
+    cw_off: np.ndarray,
+    stride: int,
+    key_span: int,
+    nlevels: int,
+    x: np.ndarray,
+    L: np.ndarray,
+    w: np.ndarray,
+    wv: np.ndarray,
+) -> None:
+    for q in range(x.shape[0]):
+        xq = x[q]
+        lq = L[q]
+        acc_w = 0.0
+        acc_wv = 0.0
+        # Ascending level order == the python kernel's bincount order.
+        for b in range(nlevels):
+            if not (xq >> b) & 1:
+                continue
+            blk = (xq >> b) - 1
+            key = blk * stride + lq + b * key_span
+            # The level's leading sentinel is below every real key, so the
+            # global hit minus one is the cumulative index directly.
+            pos = _bisect_left(keys, cw_off[b], cw_off[b + 1], key) - 1
+            lo = cw_off[b] + (blk << b)
+            acc_w += cw[pos] - cw[lo]
+            acc_wv += cwv[pos] - cwv[lo]
+        w[q] = acc_w
+        wv[q] = acc_wv
+
+
+@register("rank_tree.prefix_stats", "numba")
+def rank_prefix_stats(
+    tree: RankTreeData, x: np.ndarray, L: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.int64)
+    L = np.asarray(L, dtype=np.int64)
+    w = np.zeros(len(x), dtype=np.float64)
+    wv = np.zeros(len(x), dtype=np.float64)
+    if len(x) and tree.nlevels:
+        _prefix_stats_jit(
+            tree.keys,
+            tree.cw,
+            tree.cwv,
+            tree.cw_off,
+            tree.stride,
+            tree.key_span,
+            tree.nlevels,
+            x,
+            L,
+            w,
+            wv,
+        )
+    return w, wv
+
+
+@njit(cache=True)
+def _interval_stats_jit(
+    keys: np.ndarray,
+    cw: np.ndarray,
+    cwv: np.ndarray,
+    cw_off: np.ndarray,
+    stride: int,
+    key_span: int,
+    nlevels: int,
+    a: np.ndarray,
+    b: np.ndarray,
+    L: np.ndarray,
+    w: np.ndarray,
+    wv: np.ndarray,
+) -> None:
+    for q in range(a.shape[0]):
+        l = a[q]
+        r = b[q]
+        lq = L[q]
+        acc_w = 0.0
+        acc_wv = 0.0
+        # Canonical cover order — level ascending, left edge before right —
+        # matching the python kernel's part-ordered bincount exactly.
+        for lev in range(nlevels):
+            if l >= r:
+                break
+            span = lev * key_span
+            off = cw_off[lev]
+            if l & 1:
+                key = l * stride + lq + span
+                pos = _bisect_left(keys, off, cw_off[lev + 1], key) - 1
+                lo = off + (l << lev)
+                acc_w += cw[pos] - cw[lo]
+                acc_wv += cwv[pos] - cwv[lo]
+                l += 1
+            if r & 1:
+                r -= 1
+                key = r * stride + lq + span
+                pos = _bisect_left(keys, off, cw_off[lev + 1], key) - 1
+                lo = off + (r << lev)
+                acc_w += cw[pos] - cw[lo]
+                acc_wv += cwv[pos] - cwv[lo]
+            l >>= 1
+            r >>= 1
+        w[q] = acc_w
+        wv[q] = acc_wv
+
+
+@register("rank_tree.interval_stats", "numba")
+def rank_interval_stats(
+    tree: RankTreeData, a: np.ndarray, b: np.ndarray, L: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    L = np.asarray(L, dtype=np.int64)
+    w = np.zeros(len(a), dtype=np.float64)
+    wv = np.zeros(len(a), dtype=np.float64)
+    if len(a) and tree.nlevels:
+        _interval_stats_jit(
+            tree.keys,
+            tree.cw,
+            tree.cwv,
+            tree.cw_off,
+            tree.stride,
+            tree.key_span,
+            tree.nlevels,
+            a,
+            b,
+            L,
+            w,
+            wv,
+        )
+    return w, wv
+
+
+@njit(cache=True)
+def _cover_walk_jit(
+    costs_flat: np.ndarray,
+    costs_off: np.ndarray,
+    nlevels: int,
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    for q in range(a.shape[0]):
+        l = a[q]
+        r = b[q]
+        acc = 0.0
+        # Same per-pair order as the python kernel: level ascending,
+        # left edge before right edge within a level.
+        for lev in range(nlevels):
+            if l >= r:
+                break
+            base = costs_off[lev]
+            if l & 1:
+                acc += costs_flat[base + l]
+                l += 1
+            if r & 1:
+                r -= 1
+                acc += costs_flat[base + r]
+            l >>= 1
+            r >>= 1
+        out[q] = acc
+
+
+@register("blocks.cover_walk", "numba")
+def cover_walk(
+    costs_flat: np.ndarray,
+    costs_off: np.ndarray,
+    nlevels: int,
+    a: np.ndarray,
+    b: np.ndarray,
+) -> np.ndarray:
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    out = np.zeros(len(a), dtype=np.float64)
+    if len(a) and nlevels:
+        _cover_walk_jit(
+            costs_flat, np.asarray(costs_off, dtype=np.int64), nlevels, a, b, out
+        )
+    return out
+
+
+@njit(cache=True)
+def _segment_first_min_jit(
+    vals: np.ndarray,
+    starts: np.ndarray,
+    i_arr: np.ndarray,
+    mins: np.ndarray,
+    argi: np.ndarray,
+) -> None:
+    nseg = starts.shape[0]
+    total = vals.shape[0]
+    for s in range(nseg):
+        begin = starts[s]
+        stop = starts[s + 1] if s + 1 < nseg else total
+        m = vals[begin]
+        for t in range(begin + 1, stop):
+            if vals[t] < m:
+                m = vals[t]
+        best = _I64_MAX
+        for t in range(begin, stop):
+            if vals[t] == m and i_arr[t] < best:
+                best = i_arr[t]
+        mins[s] = m
+        argi[s] = best
+
+
+@register("dp.segment_first_min", "numba")
+def segment_first_min(
+    vals: np.ndarray, starts: np.ndarray, i_arr: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    vals = np.asarray(vals, dtype=np.float64)
+    starts = np.asarray(starts, dtype=np.int64)
+    i_arr = np.asarray(i_arr, dtype=np.int64)
+    mins = np.empty(len(starts), dtype=np.float64)
+    argi = np.empty(len(starts), dtype=np.int64)
+    if len(starts):
+        _segment_first_min_jit(vals, starts, i_arr, mins, argi)
+    return mins, argi
+
+
+@njit(cache=True)
+def _chi2_terms_1d_jit(
+    counts: np.ndarray, m: float, ref: np.ndarray, mask: np.ndarray, out: np.ndarray
+) -> None:
+    for i in range(counts.shape[0]):
+        e = m * ref[i]
+        if mask[i] and e > 0.0:
+            d = counts[i] - e
+            out[i] = (d * d - counts[i]) / e
+        else:
+            out[i] = 0.0
+
+
+@register("chi2.point_terms", "numba")
+def chi2_point_terms(
+    counts: np.ndarray,
+    m: "float | np.ndarray",
+    reference_pmf: np.ndarray,
+    mask: np.ndarray,
+) -> np.ndarray:
+    counts = np.asarray(counts, dtype=np.float64)
+    ref = np.asarray(reference_pmf, dtype=np.float64)
+    msk = np.asarray(mask, dtype=np.bool_)
+    if (
+        counts.ndim == 1
+        and np.ndim(m) == 0
+        and ref.shape == counts.shape
+        and msk.shape == counts.shape
+    ):
+        out = np.empty_like(counts)
+        _chi2_terms_1d_jit(counts, float(m), ref, msk, out)
+        return out
+    # Broadcast batches (serve's stacked tensors) stay on the numpy kernel:
+    # elementwise either way, so results are identical.
+    return _py_chi2_point_terms(counts, m, reference_pmf, mask)
+
+
+@njit(cache=True)
+def _aggregate_rows_jit(terms: np.ndarray, starts: np.ndarray, out: np.ndarray) -> None:
+    rows = terms.shape[0]
+    width = terms.shape[1]
+    nseg = starts.shape[0]
+    for r in range(rows):
+        for s in range(nseg):
+            begin = starts[s]
+            stop = starts[s + 1] if s + 1 < nseg else width
+            # Strictly sequential, matching np.add.reduceat (not pairwise).
+            acc = terms[r, begin]
+            for t in range(begin + 1, stop):
+                acc += terms[r, t]
+            out[r, s] = acc
+
+
+@register("serve.aggregate_rows", "numba")
+def aggregate_rows(terms: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    terms = np.asarray(terms, dtype=np.float64)
+    starts = np.asarray(starts, dtype=np.int64)
+    if terms.ndim == 1:
+        out1 = np.empty((1, len(starts)), dtype=np.float64)
+        _aggregate_rows_jit(terms.reshape(1, -1), starts, out1)
+        return out1[0]
+    out = np.empty((terms.shape[0], len(starts)), dtype=np.float64)
+    _aggregate_rows_jit(terms, starts, out)
+    return out
+
+
+@njit(cache=True)
+def _counts_jit(samples: np.ndarray, out: np.ndarray) -> None:
+    for i in range(samples.shape[0]):
+        out[samples[i]] += 1
+
+
+@register("sampling.counts_from_samples", "numba")
+def counts_from_samples(samples: np.ndarray, n: int) -> np.ndarray:
+    samples = np.asarray(samples, dtype=np.int64)
+    size = n if samples.size == 0 else max(n, int(samples.max()) + 1)
+    out = np.zeros(size, dtype=np.int64)
+    if samples.size:
+        _counts_jit(samples, out)
+    return out

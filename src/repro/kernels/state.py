@@ -1,0 +1,137 @@
+"""Kernel selection state: which implementation family executes hot loops.
+
+``kernel`` is an *execution* knob, exactly like ``engine``: it selects how
+an array computation runs, never what it computes.  Three spellings:
+
+* ``"python"`` — the canonical pure-numpy implementations
+  (:mod:`repro.kernels.pykernels`).  Always present, always the reference.
+* ``"numba"``  — JIT-compiled variants (:mod:`repro.kernels.native`),
+  available only when the build-optional ``repro[native]`` extra is
+  installed.  Bit-identical to the python kernels by construction: every
+  native loop performs the same floating-point operations in the same
+  order as its numpy counterpart.
+* ``"auto"``   — resolve to ``"numba"`` when importable, else ``"python"``.
+
+Resolution rules (documented in DESIGN.md § "Kernel layer"):
+
+* ``kernel="auto"`` silently falls back to python when numba is absent —
+  the pure-numpy path is canonical, so "best available" is always safe;
+* an **explicit** ``kernel="numba"`` without numba raises
+  :class:`KernelUnavailableError` — a caller who pinned the native kernel
+  (e.g. a benchmark measuring it) must not silently measure the wrong one;
+* individual ops with no native registration fall back to their python
+  implementation even under ``kernel="numba"`` (see
+  :func:`repro.kernels.dispatch.dispatch`) — partial native coverage is
+  expected, not an error.
+
+The *current* kernel is thread-local (set with :func:`use_kernel` or the
+``REPRO_KERNEL`` environment variable) so layered code — the tester
+pipeline wrapping a projection oracle wrapping a rank tree — needs no
+parameter plumbing through every call, and concurrent serve sessions with
+different requested kernels cannot race each other's setting.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Accepted spellings of the knob, mirroring ``projection._ENGINES``.
+KERNELS = ("auto", "python", "numba")
+
+#: Environment override consumed when no thread-local kernel is active
+#: (benchmark / CI passthrough, mirroring ``REPRO_WORKERS``/``REPRO_BACKEND``).
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+_local = threading.local()
+
+_native_probe: "bool | None" = None
+
+
+class KernelUnavailableError(RuntimeError):
+    """An explicitly requested kernel implementation is not installed."""
+
+
+def validate_kernel(kernel: str) -> str:
+    """Check the spelling (not availability); returns ``kernel`` unchanged."""
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    return kernel
+
+
+def native_available() -> bool:
+    """True when the numba kernels import cleanly (probed once, cached).
+
+    Importing :mod:`repro.kernels.native` also registers every native op,
+    so a successful probe leaves the dispatch table fully populated.
+    """
+    global _native_probe
+    if _native_probe is None:
+        try:
+            import repro.kernels.native  # noqa: F401  (registers ops on import)
+
+            _native_probe = True
+        except ImportError:
+            _native_probe = False
+    return _native_probe
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Concrete kernels runnable in this environment (never ``"auto"``)."""
+    return ("python", "numba") if native_available() else ("python",)
+
+
+def current_kernel() -> str:
+    """The active *requested* kernel: thread-local > ``REPRO_KERNEL`` > auto.
+
+    A thread-local ``"auto"`` carries no opinion — it defers to the
+    environment override, so ``REPRO_KERNEL=python`` reaches code running
+    under a default ``use_kernel("auto")`` scope (the common pipeline path)
+    while an explicit ``use_kernel("python"/"numba")`` still pins.
+    """
+    kernel = getattr(_local, "kernel", None)
+    if kernel is not None and kernel != "auto":
+        return kernel
+    env = os.environ.get(KERNEL_ENV_VAR, "").strip()
+    if env:
+        return validate_kernel(env)
+    return "auto"
+
+
+def resolve_kernel(kernel: "str | None" = None) -> str:
+    """Resolve a requested kernel to a concrete one (``python``/``numba``).
+
+    ``None`` means "whatever is current" (thread-local or environment).
+    """
+    if kernel is None:
+        kernel = current_kernel()
+    validate_kernel(kernel)
+    if kernel == "auto":
+        return "numba" if native_available() else "python"
+    if kernel == "numba" and not native_available():
+        raise KernelUnavailableError(
+            "kernel='numba' requested but numba is not installed; "
+            "install the repro[native] extra or use kernel='auto'"
+        )
+    return kernel
+
+
+@contextmanager
+def use_kernel(kernel: "str | None") -> Iterator[str]:
+    """Make ``kernel`` the thread's current kernel inside the block.
+
+    ``None`` is a no-op passthrough (keeps call sites branch-free).  Yields
+    the requested kernel for convenience.
+    """
+    if kernel is None:
+        yield current_kernel()
+        return
+    validate_kernel(kernel)
+    previous = getattr(_local, "kernel", None)
+    _local.kernel = kernel
+    try:
+        yield kernel
+    finally:
+        _local.kernel = previous

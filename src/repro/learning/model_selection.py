@@ -44,6 +44,7 @@ def _amplified_test(
     repeats: int,
     backend: str = DEFAULT_BACKEND,
     projection_engine: str = "auto",
+    kernel: str = "auto",
 ) -> bool:
     verdicts = [
         test_histogram(
@@ -53,6 +54,7 @@ def _amplified_test(
             config=config,
             backend=backend,
             projection_engine=projection_engine,
+            kernel=kernel,
         ).accept
         for _ in range(repeats)
     ]
@@ -70,6 +72,7 @@ def select_k(
     rng: RandomState = None,
     backend: str = DEFAULT_BACKEND,
     projection_engine: str = "auto",
+    kernel: str = "auto",
 ) -> ModelSelectionResult:
     """Doubling + binary search for the smallest accepted ``k``, then learn.
 
@@ -110,7 +113,9 @@ def select_k(
     accepted_k: int | None = None
     while True:
         probe = min(k, k_max)
-        ok = _amplified_test(source, probe, eps, config, repeats, backend, projection_engine)
+        ok = _amplified_test(
+            source, probe, eps, config, repeats, backend, projection_engine, kernel
+        )
         trace[probe] = ok
         tests += 1
         if ok:
@@ -128,7 +133,9 @@ def select_k(
     hi = accepted_k
     while lo < hi:
         mid = (lo + hi) // 2
-        ok = _amplified_test(source, mid, eps, config, repeats, backend, projection_engine)
+        ok = _amplified_test(
+            source, mid, eps, config, repeats, backend, projection_engine, kernel
+        )
         trace[mid] = ok
         tests += 1
         if ok:

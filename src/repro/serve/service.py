@@ -376,6 +376,7 @@ class TesterService:
             mask=plan.mask,
             partition=pipeline.partition,
             backend=plan.backend,
+            kernel=pipeline.kernel,
         )
 
     def _on_failure(
@@ -474,7 +475,13 @@ class TesterService:
         return breaker
 
     def _check_cached(self, pmf, partition, k, kept, tolerance, engine) -> bool:
-        """The shared projection-check cache (LRU over exact byte keys)."""
+        """The shared projection-check cache (LRU over exact byte keys).
+
+        The key covers the engine but deliberately not the compute kernel:
+        kernels are bit-identical, so a hit computed under one kernel is the
+        exact answer under any other.  (The pipeline's ``use_kernel`` scope
+        still governs which kernel computes a miss.)
+        """
         key = (
             np.asarray(pmf).tobytes(),
             int(k),

@@ -1,0 +1,238 @@
+"""Byte-identity regressions: ``kernel`` is a pure execution knob.
+
+The contract the whole layer hangs on — switching kernels (or letting
+``auto`` resolve differently on another machine) may change *how fast* a
+verdict is reached, never the verdict, the trace, the serve report, or a
+sweep checkpoint.  Assertions are byte-level (canonical JSON / JSONL), the
+same bar ``test_determinism.py`` sets for the worker-count knob.  Numba
+rows join automatically when the ``repro[native]`` extra is installed.
+"""
+
+import json
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.core.config import TesterConfig
+from repro.core.tester import test_histogram
+from repro.distributions.discrete import DiscreteDistribution
+from repro.experiments.sweeps import (
+    HistogramTester,
+    StaircaseWorkload,
+    _point_to_json,
+    complexity_sweep,
+)
+from repro.experiments.runner import acceptance_probability
+from repro.kernels import available_kernels, native_available
+from repro.observability.trace import RecordingTracer, canonical_jsonl
+from repro.serve import ChaosConfig, TesterService, build_requests
+
+CONFIG = TesterConfig.practical()
+
+#: Kernel settings every artefact must agree across ("auto" resolves to
+#: the best available, so it doubles as the numba row on native machines).
+KERNEL_SETTINGS = ("auto", "python") + (("numba",) if native_available() else ())
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="numba kernels not installed (repro[native])"
+)
+
+
+def _staircase(n=512, k=4):
+    return StaircaseWorkload(n, k)(np.random.default_rng(0))
+
+
+def _verdict_and_trace(kernel, *, n=512, k=4, eps=0.3, seed=7):
+    tracer = RecordingTracer()
+    verdict = test_histogram(
+        _staircase(n, k), k, eps,
+        config=CONFIG, rng=seed, kernel=kernel, trace=tracer,
+    )
+    return verdict, canonical_jsonl(tracer.export())
+
+
+def _verdict_key(v):
+    """Byte-level identity of everything decision-relevant in a Verdict
+    (numpy payloads via tobytes; wall-clock stage_timings excluded)."""
+    return (
+        v.accept,
+        v.stage,
+        v.reason,
+        v.samples_used,
+        v.k,
+        v.eps,
+        tuple(sorted(v.stage_samples.items())),
+        None if v.partition is None else v.partition.boundaries.tobytes(),
+        None if v.learned is None else v.learned.to_pmf().tobytes(),
+    )
+
+
+def sweep_json(result) -> str:
+    return json.dumps(
+        {
+            "axis": result.axis,
+            "points": [_point_to_json(p) for p in result.points],
+            "exponent": result.exponent,
+        },
+        sort_keys=True,
+    )
+
+
+class TestVerdictAndTraceByteIdentity:
+    def test_verdicts_identical_across_kernels(self):
+        verdicts = {k: _verdict_and_trace(k)[0] for k in KERNEL_SETTINGS}
+        keys = {k: _verdict_key(v) for k, v in verdicts.items()}
+        assert len(set(keys.values())) == 1, keys
+
+    def test_traces_identical_across_kernels(self):
+        """The full event stream — every stage's recorded statistics and
+        budgets — is byte-identical, not just the final verdict."""
+        traces = {k: _verdict_and_trace(k)[1] for k in KERNEL_SETTINGS}
+        assert len(set(traces.values())) == 1, {
+            k: t[:160] for k, t in traces.items()
+        }
+
+    def test_reject_case_identical_across_kernels(self):
+        rng = np.random.default_rng(3)
+        pmf = rng.dirichlet(np.ones(256))
+        dist = DiscreteDistribution(pmf)
+        verdicts = {
+            kernel: test_histogram(
+                dist, 3, 0.25, config=CONFIG, rng=11, kernel=kernel
+            )
+            for kernel in KERNEL_SETTINGS
+        }
+        keys = {k: _verdict_key(v) for k, v in verdicts.items()}
+        assert len(set(keys.values())) == 1, keys
+
+    def test_acceptance_estimate_identical_across_kernels(self):
+        payloads = {
+            kernel: json.dumps(
+                asdict(
+                    acceptance_probability(
+                        StaircaseWorkload(600, 3),
+                        HistogramTester(3, 0.35, CONFIG, kernel=kernel),
+                        trials=6,
+                        rng=11,
+                    )
+                ),
+                sort_keys=True,
+            )
+            for kernel in KERNEL_SETTINGS
+        }
+        assert len(set(payloads.values())) == 1, payloads
+
+
+class TestServeReportByteIdentity:
+    def _report(self, kernel):
+        config = ChaosConfig(sessions=8, fault_rate=0.25, seed=5, kernel=kernel)
+        service = TesterService()
+        for request in build_requests(config):
+            service.submit(request)
+        return service.run().canonical_json()
+
+    def test_canonical_report_identical_across_kernels(self):
+        reports = {kernel: self._report(kernel) for kernel in KERNEL_SETTINGS}
+        assert len(set(reports.values())) == 1
+
+    def test_mixed_kernel_population_reaches_same_outcomes(self):
+        """Per-request kernels only regroup the final-test batches; every
+        session's outcome matches the single-kernel run."""
+        config = ChaosConfig(sessions=8, fault_rate=0.25, seed=5)
+        requests = build_requests(config)
+        mixed = [
+            type(r)(**{**asdict_shallow(r), "kernel": KERNEL_SETTINGS[i % len(KERNEL_SETTINGS)]})
+            for i, r in enumerate(requests)
+        ]
+        service = TesterService()
+        for request in mixed:
+            service.submit(request)
+        report = service.run().canonical_json()
+        assert report == self._report("auto")
+
+
+def asdict_shallow(request):
+    """dataclasses.asdict recurses into numpy payloads; keep fields as-is."""
+    from dataclasses import fields
+
+    return {f.name: getattr(request, f.name) for f in fields(request)}
+
+
+class TestSweepByteIdentity:
+    VALUES = [400, 800]
+    KWARGS = dict(k=3, eps=0.35, config=CONFIG, trials=3, bisection_steps=2)
+
+    def test_sweep_identical_across_kernels_and_workers(self):
+        payloads = {
+            (kernel, workers): sweep_json(
+                complexity_sweep(
+                    "n", self.VALUES, rng=3, workers=workers, kernel=kernel,
+                    **self.KWARGS,
+                )
+            )
+            for kernel in KERNEL_SETTINGS
+            for workers in (None, 2, 4)
+        }
+        assert len(set(payloads.values())) == 1
+
+    def test_checkpoint_resume_across_kernels(self, tmp_path):
+        """A checkpoint written under one kernel resumes under another (the
+        fingerprint deliberately excludes the kernel, like workers)."""
+        from repro.experiments.sweeps import _default_workloads
+        from repro.robustness.checkpoint import CheckpointStore
+
+        values = [400, 600, 800]
+        path = tmp_path / "sweep.json"
+        uninterrupted = complexity_sweep("n", values, rng=3, **self.KWARGS)
+
+        calls = []
+
+        def dying_workloads(n, k, eps):
+            calls.append(n)
+            if len(calls) == 3:
+                raise KeyboardInterrupt
+            return _default_workloads(n, k, eps)
+
+        with pytest.raises(KeyboardInterrupt):
+            complexity_sweep(
+                "n", values, rng=3, checkpoint=path, kernel="python",
+                workloads=dying_workloads, **self.KWARGS,
+            )
+        assert len(CheckpointStore(path).load()["points"]) == 2
+
+        resumed = complexity_sweep(
+            "n", values, rng=3, checkpoint=path, kernel="auto", workers=2,
+            **self.KWARGS,
+        )
+        assert sweep_json(resumed) == sweep_json(uninterrupted)
+
+    @needs_native
+    def test_checkpoint_resume_python_to_numba(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        complexity_sweep(
+            "n", self.VALUES, rng=3, checkpoint=path, kernel="python",
+            **self.KWARGS,
+        )
+        resumed = complexity_sweep(
+            "n", self.VALUES, rng=3, checkpoint=path, kernel="numba",
+            **self.KWARGS,
+        )
+        assert sweep_json(resumed) == sweep_json(
+            complexity_sweep("n", self.VALUES, rng=3, **self.KWARGS)
+        )
+
+
+class TestKernelAvailabilityGates:
+    def test_explicit_numba_request_fails_loudly_when_absent(self):
+        if native_available():
+            pytest.skip("native extra installed; the loud-failure path is moot")
+        from repro.kernels import KernelUnavailableError
+
+        with pytest.raises(KernelUnavailableError):
+            test_histogram(
+                _staircase(), 4, 0.3, config=CONFIG, rng=0, kernel="numba"
+            )
+
+    def test_available_kernels_always_include_python(self):
+        assert available_kernels()[0] == "python"
