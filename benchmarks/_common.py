@@ -15,7 +15,6 @@ resumes from the last completed point instead of starting over.
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import time
@@ -25,6 +24,7 @@ from typing import Any, Callable, Sequence
 from repro.core.backends import BACKENDS, DEFAULT_BACKEND
 from repro.core.config import TesterConfig
 from repro.robustness.checkpoint import load_if_matching, resolve_store
+from repro.util.atomicio import atomic_write_json
 
 #: The default scale every benchmark runs at unless it sweeps the axis.
 N = 4096
@@ -146,9 +146,10 @@ def write_bench_json(
         },
         "created_unix": time.time(),
     }
-    tmp = out.with_suffix(out.suffix + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, out)
+    # Durable atomic replace (tmp + fsync + rename + dir fsync): a crash
+    # mid-write must never leave a torn BENCH_*.json for the regression
+    # gates to choke on.
+    atomic_write_json(out, payload, indent=2, sort_keys=True)
     print(f"  wrote {out}")
     return out
 

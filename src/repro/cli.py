@@ -16,9 +16,20 @@ Six subcommands mirroring the library's main entry points:
 * ``serve``   — drive the always-on multi-session service over a
   deterministic request population (``--chaos`` injects the standard fault
   schedule; every session ends VERDICT/DEGRADED/EVICTED/REJECTED and the
-  run replays byte-identically under a fixed seed);
+  run replays byte-identically under a fixed seed; SIGTERM/SIGINT drain
+  in-flight sessions and still emit the final report);
+* ``worker``  — run one distributed-sweep worker against a results store
+  (claim shards, heartbeat, commit idempotently; SIGTERM drains);
+* ``report``  — inspect a results store: progress, per-worker stats, the
+  fault audit log, and exact zero-drift sample accounting;
 * ``trace``   — inspect a trace file (``summarize`` renders per-span
   aggregates, ``validate`` checks the JSONL schema and seq invariant).
+
+``sweep --store`` switches the sweep to the distributed executor: shards
+are enqueued into a crash-consistent sqlite store and drained by
+``--worker-procs`` supervised subprocesses (or by separately launched
+``repro worker`` processes on other terminals/hosts sharing the file);
+the assembled output is byte-identical to the serial run.
 
 All RNG seeding goes through :func:`repro.util.rng.ensure_rng` so every
 entry point shares one seed-handling convention.
@@ -256,11 +267,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_sweep_result(args: argparse.Namespace, result) -> None:
+    rows = [
+        [getattr(p, result.axis), p.estimate.samples, p.estimate.scale,
+         p.estimate.evaluations]
+        for p in result.points
+    ]
+    print(
+        format_table(
+            [result.axis, "samples/trial", "budget scale", "evaluations"], rows
+        )
+    )
+    print(f"fitted exponent: {result.exponent:.3f}")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     values = [float(v) for v in args.values.split(",") if v.strip()]
     if not values:
         raise SystemExit("--values must name at least one axis value")
     tracer = RecordingTracer() if args.trace else NULL_TRACER
+    if args.store:
+        from repro.distributed import SweepSpec, distributed_sweep
+
+        if args.checkpoint:
+            raise SystemExit(
+                "--store and --checkpoint are alternatives: the results "
+                "store *is* the distributed sweep's checkpoint"
+            )
+        spec = SweepSpec(
+            axis=args.axis,
+            values=tuple(values),
+            n=args.n,
+            k=args.k,
+            eps=args.eps,
+            trials=args.trials,
+            bisection_steps=args.bisection_steps,
+            seed=args.seed,
+            backend=args.backend,
+            config=_config(args),
+        )
+        result, fleet = distributed_sweep(
+            spec,
+            args.store,
+            processes=args.worker_procs,
+            lease_seconds=args.lease_seconds,
+            kernel=args.kernel,
+            resume=args.resume,
+            trace=tracer if args.trace else None,
+        )
+        _print_sweep_result(args, result)
+        print(f"store          : {args.store}")
+        print(f"fleet          : {fleet.workers_spawned} worker(s), "
+              f"{fleet.restarts} restart(s), {fleet.leases_expired} lease "
+              f"expiries, {fleet.wall_seconds:.2f}s wall")
+        if args.trace:
+            write_jsonl(args.trace, tracer.export())
+            print(f"trace          : {args.trace} ({len(tracer.events)} events)")
+        return 0
     result = complexity_sweep(
         args.axis,
         values,
@@ -278,17 +341,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         trace=tracer,
     )
-    rows = [
-        [getattr(p, result.axis), p.estimate.samples, p.estimate.scale,
-         p.estimate.evaluations]
-        for p in result.points
-    ]
-    print(
-        format_table(
-            [result.axis, "samples/trial", "budget scale", "evaluations"], rows
-        )
-    )
-    print(f"fitted exponent: {result.exponent:.3f}")
+    _print_sweep_result(args, result)
     if args.checkpoint:
         print(f"checkpoint     : {args.checkpoint}")
     if args.trace:
@@ -311,12 +364,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         kernel=args.kernel,
     )
     service = TesterService(ServiceConfig(tester=_config(args), workers=args.workers))
+    # SIGTERM/SIGINT drain: in-flight sessions finish, the queue is shed,
+    # and the final (reconciled) report below is still written.
+    service.install_signal_handlers()
     for request in build_requests(chaos):
         service.submit(request)
     report = service.run()
     counts = report.counts()
     print(f"sessions  : {args.sessions} "
           f"(chaos fault rate {chaos.fault_rate:.0%})")
+    if report.drained:
+        print("drained   : yes (shutdown signal; queue shed, in-flight finished)")
     print(f"rounds    : {report.rounds}")
     print(f"outcomes  : " + "  ".join(f"{k}={v}" for k, v in sorted(counts.items())))
     rate = len(report.outcomes) / report.wall_seconds if report.wall_seconds else 0.0
@@ -329,8 +387,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for outcome in evicted:
         print(f"  evicted   {outcome.request_id}: {outcome.reason}")
     if args.report:
-        with open(args.report, "w") as handle:
-            handle.write(report.canonical_json())
+        from repro.util.atomicio import atomic_write_text
+
+        atomic_write_text(args.report, report.canonical_json())
         print(f"report    : {args.report}")
     if args.trace_dir:
         import os
@@ -346,6 +405,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for key, value in get_metrics().snapshot().items():
             print(f"  metric    {key} = {value}")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed import ChaosSchedule
+    from repro.distributed.worker import WorkerOptions, worker_main
+
+    chaos = None
+    if args.chaos_rate > 0.0:
+        actions = tuple(a for a in args.chaos_actions.split(",") if a.strip())
+        chaos = ChaosSchedule(
+            seed=args.chaos_seed,
+            rate=args.chaos_rate,
+            actions=actions,
+            max_actions=args.chaos_max_actions,
+            stall_seconds=args.chaos_stall,
+        )
+    options = WorkerOptions(
+        worker_id=args.worker_id,
+        lease_seconds=args.lease_seconds,
+        poll_seconds=args.poll_seconds,
+        max_shards=args.max_shards,
+        kernel=args.kernel,
+        workers=args.workers,
+        chaos=chaos,
+    )
+    worker_main(args.store, options)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.distributed import ResultsStore, format_report, summarize
+    from repro.distributed.report import report_json
+
+    store = ResultsStore(args.store)
+    try:
+        report = summarize(store)
+        if args.json:
+            print(report_json(report))
+        else:
+            print(format_report(report))
+            if args.events:
+                print("audit log:")
+                for event in store.events():
+                    detail = f" — {event['detail']}" if event["detail"] else ""
+                    print(f"  [{event['seq']:>4}] {event['kind']:<10} "
+                          f"shard={str(event['shard_id'])[:12]} "
+                          f"worker={event['worker_id']}{detail}")
+        return 0 if report.total_drift == 0 else 1
+    finally:
+        store.close()
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -462,6 +571,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=False,
         help="continue a matching checkpoint instead of discarding it",
     )
+    p_sweep.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="distributed mode: enqueue shards into this sqlite results "
+        "store and drain them with supervised worker subprocesses "
+        "(byte-identical to the serial run; inspect with `repro report`)",
+    )
+    p_sweep.add_argument(
+        "--worker-procs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker subprocesses for --store mode (1 runs in-process)",
+    )
+    p_sweep.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=15.0,
+        help="shard lease duration for --store mode (a worker silent this "
+        "long is presumed dead and its shard re-dispatched)",
+    )
     _add_workers(p_sweep)
     _add_trace(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
@@ -509,6 +640,56 @@ def build_parser() -> argparse.ArgumentParser:
     # Chaos-drill defaults: n=512 keeps the full pipeline (not the plugin
     # regime) in play, so every fault kind actually fires.
     p_serve.set_defaults(func=_cmd_serve, n=512, k=4, eps=0.3)
+
+    p_worker = sub.add_parser(
+        "worker", help="run one distributed-sweep worker against a results store"
+    )
+    p_worker.add_argument(
+        "--store", required=True, metavar="PATH", help="sqlite results store"
+    )
+    p_worker.add_argument(
+        "--worker-id", required=True, help="unique id for this worker process"
+    )
+    p_worker.add_argument("--lease-seconds", type=float, default=30.0)
+    p_worker.add_argument("--poll-seconds", type=float, default=0.2)
+    p_worker.add_argument(
+        "--max-shards", type=int, default=None,
+        help="exit after committing this many shards (default: run to finish)",
+    )
+    p_worker.add_argument(
+        "--kernel", choices=list(KERNELS), default="auto",
+        help="compute kernels (execution knob — bit-identical results)",
+    )
+    _add_workers(p_worker)
+    p_worker.add_argument("--chaos-seed", type=int, default=0)
+    p_worker.add_argument(
+        "--chaos-rate", type=float, default=0.0,
+        help="per-claim fault-injection probability (0 disables chaos)",
+    )
+    p_worker.add_argument(
+        "--chaos-actions",
+        default="kill,late-commit,duplicate-commit,skip-heartbeat",
+        help="comma-separated action pool for seeded chaos",
+    )
+    p_worker.add_argument("--chaos-stall", type=float, default=0.05)
+    p_worker.add_argument("--chaos-max-actions", type=int, default=2)
+    p_worker.set_defaults(func=_cmd_worker)
+
+    p_report = sub.add_parser(
+        "report", help="inspect a distributed-sweep results store"
+    )
+    p_report.add_argument(
+        "--store", required=True, metavar="PATH", help="sqlite results store"
+    )
+    p_report.add_argument(
+        "--json", action="store_true", default=False,
+        help="emit the full report as JSON instead of text",
+    )
+    p_report.add_argument(
+        "--events", action="store_true", default=False,
+        help="also print the complete audit log",
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     p_trace = sub.add_parser("trace", help="inspect a JSONL trace file")
     p_trace.add_argument(

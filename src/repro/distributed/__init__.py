@@ -1,0 +1,76 @@
+"""Fault-tolerant distributed sweep execution over a crash-consistent store.
+
+The public surface:
+
+* :class:`~repro.distributed.spec.SweepSpec` / :func:`~repro.distributed.spec.run_shard`
+  — the serialisable unit of work and its deterministic executor;
+* :class:`~repro.distributed.store.ResultsStore` — the sqlite
+  queue/lease/results store every process coordinates through;
+* :class:`~repro.distributed.worker.Worker` — the claim/run/commit loop
+  behind ``repro worker``;
+* :func:`~repro.distributed.coordinator.distributed_sweep` — end-to-end:
+  create store, supervise a worker fleet, assemble the byte-identical
+  :class:`~repro.experiments.sweeps.SweepResult`;
+* :func:`~repro.distributed.report.summarize` — the store as a queryable
+  results index with zero-drift sample accounting (``repro report``);
+* :class:`~repro.distributed.chaos.ChaosSchedule` — deterministic fault
+  injection for the whole stack.
+"""
+
+from repro.distributed.chaos import ACTIONS, ChaosSchedule, ChaosState
+from repro.distributed.coordinator import (
+    FleetReport,
+    assemble,
+    create_store,
+    distributed_sweep,
+    run_fleet,
+    run_local,
+    spec_from_store,
+)
+from repro.distributed.report import (
+    ShardAccounting,
+    StoreReport,
+    accounting,
+    format_report,
+    summarize,
+)
+from repro.distributed.spec import ShardResult, SweepSpec, ledger_totals, run_shard
+from repro.distributed.store import (
+    CommittedResult,
+    Lease,
+    ResultsStore,
+    Shard,
+    StoreError,
+)
+from repro.distributed.worker import Worker, WorkerOptions, WorkerSummary, worker_main
+
+__all__ = [
+    "ACTIONS",
+    "ChaosSchedule",
+    "ChaosState",
+    "CommittedResult",
+    "FleetReport",
+    "Lease",
+    "ResultsStore",
+    "Shard",
+    "ShardAccounting",
+    "ShardResult",
+    "StoreError",
+    "StoreReport",
+    "SweepSpec",
+    "Worker",
+    "WorkerOptions",
+    "WorkerSummary",
+    "accounting",
+    "assemble",
+    "create_store",
+    "distributed_sweep",
+    "format_report",
+    "ledger_totals",
+    "run_fleet",
+    "run_local",
+    "run_shard",
+    "spec_from_store",
+    "summarize",
+    "worker_main",
+]

@@ -1,0 +1,187 @@
+"""``repro report``: the results store as a queryable sweep index.
+
+The store is not just a queue — after (or during) a run it answers the
+questions an operator actually asks: how far along is the sweep, which
+workers did what, what faults happened, and — the headline — does the
+sample accounting reconcile *exactly*.
+
+Zero-drift accounting
+---------------------
+
+Each committed shard row stores a ``samples_total`` the worker claimed at
+commit time.  The shard's full sub-trace is stored alongside it, and every
+tester invocation in that trace carries a ledger event whose integer
+``attrs["total"]`` was reconciled against the source's true draw count at
+verdict time.  ``accounting`` therefore *recomputes* each shard's total
+from the stored trace and diffs it against the committed figure: any
+nonzero drift means a worker committed numbers its own trace does not
+support — lost samples, double-counting, or a torn write — and the report
+says so per shard.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.distributed.spec import ledger_totals
+from repro.distributed.store import ResultsStore
+
+
+@dataclass(frozen=True)
+class ShardAccounting:
+    """One shard's committed-vs-recomputed sample accounting."""
+
+    index: int
+    shard_id: str
+    worker_id: str
+    committed_samples: int
+    recomputed_samples: int
+    trials_total: int
+
+    @property
+    def drift(self) -> int:
+        return self.committed_samples - self.recomputed_samples
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "shard_id": self.shard_id,
+            "worker_id": self.worker_id,
+            "committed_samples": self.committed_samples,
+            "recomputed_samples": self.recomputed_samples,
+            "trials_total": self.trials_total,
+            "drift": self.drift,
+        }
+
+
+@dataclass(frozen=True)
+class StoreReport:
+    """Everything ``repro report`` prints, as structured data."""
+
+    counts: dict
+    event_tally: dict
+    per_worker: dict
+    shards: tuple
+    total_committed_samples: int
+    total_recomputed_samples: int
+    finished: bool
+    fingerprint: "dict | None"
+
+    @property
+    def total_drift(self) -> int:
+        return self.total_committed_samples - self.total_recomputed_samples
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "counts": dict(self.counts),
+            "event_tally": dict(self.event_tally),
+            "per_worker": {k: dict(v) for k, v in self.per_worker.items()},
+            "shards": [s.to_json() for s in self.shards],
+            "total_committed_samples": self.total_committed_samples,
+            "total_recomputed_samples": self.total_recomputed_samples,
+            "total_drift": self.total_drift,
+            "finished": self.finished,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def accounting(store: ResultsStore) -> list[ShardAccounting]:
+    """Recompute each committed shard's sample total from its stored trace."""
+    rows = []
+    for result in store.results():
+        recomputed, _events = ledger_totals(list(result.trace))
+        rows.append(
+            ShardAccounting(
+                index=result.index,
+                shard_id=result.shard_id,
+                worker_id=result.worker_id,
+                committed_samples=result.samples_total,
+                recomputed_samples=recomputed,
+                trials_total=result.trials_total,
+            )
+        )
+    return rows
+
+
+def summarize(store: ResultsStore) -> StoreReport:
+    """The full store report (also checks queue invariants — a report that
+    would print inconsistent numbers raises instead)."""
+    store.check_invariants()
+    shards = accounting(store)
+    per_worker: dict[str, dict[str, int]] = {}
+    for shard in shards:
+        stats = per_worker.setdefault(
+            shard.worker_id, {"committed": 0, "samples": 0, "drift": 0}
+        )
+        stats["committed"] += 1
+        stats["samples"] += shard.committed_samples
+        stats["drift"] += shard.drift
+    tally = store.event_tally()
+    for event in store.events():
+        if event["kind"] != "claim":
+            continue
+        worker = event["worker_id"]
+        per_worker.setdefault(worker, {"committed": 0, "samples": 0, "drift": 0})
+        per_worker[worker]["claims"] = per_worker[worker].get("claims", 0) + 1
+    return StoreReport(
+        counts=store.counts(),
+        event_tally=tally,
+        per_worker=per_worker,
+        shards=tuple(shards),
+        total_committed_samples=sum(s.committed_samples for s in shards),
+        total_recomputed_samples=sum(s.recomputed_samples for s in shards),
+        finished=store.finished(),
+        fingerprint=store.fingerprint(),
+    )
+
+
+def format_report(report: StoreReport, *, events: bool = False) -> str:
+    """Human-readable rendering for the CLI."""
+    lines = []
+    counts = report.counts
+    status = "finished" if report.finished else "in progress"
+    lines.append(
+        f"sweep {status}: {counts['committed']}/{counts['shards']} shards "
+        f"committed, {counts['leased']} leased, "
+        f"{counts['pending'] - counts['leased']} queued"
+    )
+    tally = report.event_tally
+    lines.append(
+        "events: "
+        + ", ".join(f"{kind}={tally[kind]}" for kind in sorted(tally) if tally[kind])
+    )
+    if report.per_worker:
+        lines.append("workers:")
+        for worker_id in sorted(report.per_worker):
+            stats = report.per_worker[worker_id]
+            lines.append(
+                f"  {worker_id:>8}: claims={stats.get('claims', 0)} "
+                f"committed={stats['committed']} samples={stats['samples']} "
+                f"drift={stats['drift']}"
+            )
+    if report.shards:
+        lines.append("accounting (committed vs recomputed from stored traces):")
+        for shard in report.shards:
+            flag = "" if shard.drift == 0 else "  <-- DRIFT"
+            lines.append(
+                f"  shard[{shard.index}] {shard.shard_id[:12]} by "
+                f"{shard.worker_id}: committed={shard.committed_samples} "
+                f"recomputed={shard.recomputed_samples} "
+                f"trials={shard.trials_total}{flag}"
+            )
+        verdict = (
+            "zero drift — every committed sample is backed by its trace"
+            if report.total_drift == 0
+            else f"TOTAL DRIFT {report.total_drift:+d} samples"
+        )
+        lines.append(
+            f"totals: committed={report.total_committed_samples} "
+            f"recomputed={report.total_recomputed_samples} ({verdict})"
+        )
+    return "\n".join(lines)
+
+
+def report_json(report: StoreReport) -> str:
+    return json.dumps(report.to_json(), sort_keys=True, indent=2)

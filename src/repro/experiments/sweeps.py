@@ -168,6 +168,45 @@ def _label_point(
     return labels
 
 
+def sweep_fingerprint(
+    axis: str,
+    values: Sequence[float],
+    *,
+    n: int,
+    k: int,
+    eps: float,
+    trials: int,
+    bisection_steps: int,
+    config: TesterConfig,
+    backend: str,
+    seed: int,
+) -> dict[str, Any]:
+    """The canonical parameter fingerprint of a sweep.
+
+    Shared between :func:`complexity_sweep` checkpoints and the distributed
+    results store (:mod:`repro.distributed`), so a sqlite store and a JSON
+    checkpoint of the same sweep agree byte-for-byte on identity.  Neither
+    the worker count nor the kernel ever enters the fingerprint: results
+    are bit-identical at any count and under any kernel, so a checkpoint
+    must resume across machines with different parallelism or native
+    extras.  The backend *does* enter: it changes budgets and verdicts.
+    """
+    config_print = asdict(config)
+    config_print.pop("workers", None)
+    return {
+        "axis": axis,
+        "values": [float(v) for v in values],
+        "n": n,
+        "k": k,
+        "eps": eps,
+        "trials": trials,
+        "bisection_steps": bisection_steps,
+        "config": config_print,
+        "backend": backend,
+        "seed": seed,
+    }
+
+
 #: Exactly the keys a serialised :class:`SweepPoint` may carry.
 _POINT_KEYS = frozenset({"n", "k", "eps", "estimate"})
 _ESTIMATE_KEYS = frozenset(ComplexityEstimate.__dataclass_fields__)
@@ -306,24 +345,18 @@ def complexity_sweep(
                 "checkpointing requires an integer seed for rng — a resumed "
                 "sweep must replay the exact per-point streams"
             )
-        # Neither the worker count nor the kernel ever enters the
-        # fingerprint: results are bit-identical at any count and under any
-        # kernel, so a checkpoint must resume across machines with
-        # different parallelism or native extras.
-        config_print = asdict(config)
-        config_print.pop("workers", None)
-        fingerprint = {
-            "axis": axis,
-            "values": [float(v) for v in values],
-            "n": n,
-            "k": k,
-            "eps": eps,
-            "trials": trials,
-            "bisection_steps": bisection_steps,
-            "config": config_print,
-            "backend": backend,
-            "seed": rng,
-        }
+        fingerprint = sweep_fingerprint(
+            axis,
+            values,
+            n=n,
+            k=k,
+            eps=eps,
+            trials=trials,
+            bisection_steps=bisection_steps,
+            config=config,
+            backend=backend,
+            seed=rng,
+        )
         if resume:
             state = load_if_matching(store, fingerprint)
             if state is not None:

@@ -239,16 +239,18 @@ def _as_dicts(events: "Sequence[TraceEvent | dict]") -> list[dict]:
 
 
 def write_jsonl(path: "str | os.PathLike", events: "Sequence[TraceEvent | dict]") -> None:
-    """Write one event per line (sorted keys — stable diffs), atomically."""
+    """Write one event per line (sorted keys — stable diffs), atomically
+    *and durably* (tmp file + fsync + rename + directory fsync, the same
+    path sweep checkpoints use — a crash mid-write never leaves a torn
+    trace file on disk)."""
+    from repro.util.atomicio import atomic_write_text
+
     payload = (
         "\n".join(json.dumps(e, sort_keys=True) for e in _as_dicts(events)) + "\n"
         if events
         else ""
     )
-    tmp = f"{os.fspath(path)}.tmp"
-    with open(tmp, "w") as fh:
-        fh.write(payload)
-    os.replace(tmp, path)
+    atomic_write_text(path, payload)
 
 
 def read_jsonl(path: "str | os.PathLike") -> list[dict]:

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Any
+
+from repro.util.atomicio import atomic_write_json
 
 
 class CheckpointError(RuntimeError):
@@ -29,24 +30,6 @@ class CheckpointError(RuntimeError):
     than a silent restart-from-scratch.  Delete the file (or call
     :meth:`CheckpointStore.clear`) to start over deliberately.
     """
-
-
-def _fsync_directory(directory: Path) -> None:
-    """Flush a directory's entry table to stable storage (best effort).
-
-    Some platforms/filesystems refuse directory fds or directory fsync;
-    durability is then no worse than before, so failures are swallowed.
-    """
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
 
 
 class CheckpointStore:
@@ -78,31 +61,14 @@ class CheckpointStore:
     def save(self, state: dict[str, Any]) -> None:
         """Atomically *and durably* replace the checkpoint with ``state``.
 
-        The temp file lives in the same directory as the target so the
-        ``os.replace`` stays on one filesystem (rename atomicity).  Both the
-        temp file's contents (before the rename) and the containing
-        directory's entry table (after it) are fsynced: rename atomicity
-        alone only protects against torn writes, not against a power loss
-        that reorders the rename ahead of the data blocks or drops the new
-        directory entry entirely.
+        Routed through :func:`repro.util.atomicio.atomic_write_json`: temp
+        file in the target's directory, contents fsynced before the rename,
+        directory entry table fsynced after it.  Rename atomicity alone only
+        protects against torn writes, not against a power loss that reorders
+        the rename ahead of the data blocks or drops the new directory entry
+        entirely.
         """
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(state, handle, indent=2)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, self.path)
-            _fsync_directory(self.path.parent)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except FileNotFoundError:
-                pass
-            raise
+        atomic_write_json(self.path, state, indent=2, trailing_newline=False)
 
     def clear(self) -> None:
         """Remove the checkpoint (no-op when absent)."""

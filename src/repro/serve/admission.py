@@ -135,6 +135,16 @@ class AdmissionController:
             admitted.append(request_id)
         return admitted
 
+    def shed_queued(self, reason: str) -> list[Rejection]:
+        """Shed every queued (not-yet-admitted) request as a structured
+        :class:`Rejection` — the drain path: in-flight sessions keep their
+        slots and finish; waiting ones are turned away deterministically in
+        queue order.  Conservation invariants are untouched (queued
+        requests never held units)."""
+        shed = [Rejection(request_id, reason) for request_id, _units in self._queue]
+        self._queue.clear()
+        return shed
+
     def release(self, request_id: str) -> None:
         """Return a retired session's slot and sample units to the pool.
 

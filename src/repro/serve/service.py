@@ -143,6 +143,9 @@ class ServiceReport:
     rejections: tuple
     rounds: int
     wall_seconds: float
+    #: True when the run ended via a graceful drain (SIGTERM/SIGINT):
+    #: in-flight sessions finished, queued requests were shed as rejections.
+    drained: bool = False
 
     def counts(self) -> dict:
         tally = {state: 0 for state in SessionState.TERMINAL}
@@ -158,6 +161,7 @@ class ServiceReport:
             "outcomes": [outcome.canonical() for outcome in self.outcomes],
             "rejections": [rejection.canonical() for rejection in self.rejections],
             "rounds": self.rounds,
+            "drained": self.drained,
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
@@ -203,9 +207,32 @@ class TesterService:
         self._check_cache: "OrderedDict[tuple, bool]" = OrderedDict()
         self._project_cache: "OrderedDict[tuple, Projection]" = OrderedDict()
         self.rounds_run = 0
+        self._draining = False
         #: Per-session exported trace events (request_id → event tuple),
         #: captured at retirement for post-hoc audit (`repro serve --trace-dir`).
         self.session_traces: dict[str, tuple] = {}
+
+    # -- graceful drain -------------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Ask the run loop to wind down (signal-handler safe: just a flag).
+
+        From the next round on, no queued request is admitted — the queue
+        is shed as structured rejections — while every in-flight session
+        runs to its terminal outcome, so the final report still accounts
+        for every submitted request and its ledger reconciles exactly.
+        """
+        self._draining = True
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (call from the main thread)."""
+        import signal
+
+        def _handler(signum: int, frame: object) -> None:
+            self.request_drain()
+
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
 
     # -- intake ---------------------------------------------------------------
 
@@ -247,6 +274,7 @@ class TesterService:
             rejections=tuple(self._rejections),
             rounds=self.rounds_run,
             wall_seconds=time.perf_counter() - started,
+            drained=self._draining,
         )
         metrics = get_metrics()
         for state, count in report.counts().items():
@@ -258,8 +286,18 @@ class TesterService:
         for breaker in self.breakers.values():
             breaker.tick()
         self.admission.refill()
-        for request_id in self.admission.admit_ready():
-            self._open_session(request_id, round_index)
+        if self._draining:
+            # Drain mode: shed the queue as structured rejections, admit
+            # nothing new; the sessions already in flight run to retirement.
+            for rejection in self.admission.shed_queued(
+                "service draining (shutdown requested) — shed before admission"
+            ):
+                self._requests.pop(rejection.request_id, None)
+                self._rejections.append(rejection)
+                get_metrics().counter("serve.rejected").inc()
+        else:
+            for request_id in self.admission.admit_ready():
+                self._open_session(request_id, round_index)
         get_metrics().gauge("serve.inflight_units").set(self.admission.inflight_units)
 
         batch_items: list[FinalBatchItem] = []

@@ -1,0 +1,87 @@
+"""Atomic, durable file writes shared by every artifact writer.
+
+Sweep checkpoints have always used the write-to-temp → fsync → ``os.replace``
+→ directory-fsync dance; benchmark tables, service reports, and trace JSONL
+exports used to cut corners (plain ``write_text`` + rename, no fsync), so a
+crash mid-write could leave a torn ``BENCH_*.json`` or report behind the
+rename, or lose the new directory entry entirely on power loss.  This module
+is the one implementation everybody routes through:
+
+* the temp file lives in the *target's* directory, so ``os.replace`` stays
+  on one filesystem (rename atomicity);
+* the temp file's contents are fsynced before the rename (a reordered
+  rename must never expose unwritten data blocks);
+* the containing directory's entry table is fsynced after the rename (the
+  new name itself must survive power loss).
+
+A reader therefore observes either the previous complete file or the new
+complete file — never a prefix, never an empty placeholder.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+def fsync_directory(directory: "str | os.PathLike") -> None:
+    """Flush a directory's entry table to stable storage (best effort).
+
+    Some platforms/filesystems refuse directory fds or directory fsync;
+    durability is then no worse than before, so failures are swallowed.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: "str | os.PathLike", text: str) -> Path:
+    """Atomically and durably replace ``path``'s contents with ``text``.
+
+    Parent directories are created as needed.  On any failure the temp file
+    is removed and the original file (if any) is left untouched.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+        fsync_directory(target.parent)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except FileNotFoundError:
+            pass
+        raise
+    return target
+
+
+def atomic_write_json(
+    path: "str | os.PathLike",
+    payload: Any,
+    *,
+    indent: "int | None" = 2,
+    sort_keys: bool = False,
+    trailing_newline: bool = True,
+) -> Path:
+    """JSON-serialise ``payload`` and :func:`atomic_write_text` it."""
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    if trailing_newline:
+        text += "\n"
+    return atomic_write_text(path, text)

@@ -1,0 +1,204 @@
+"""Property suite for the lease/queue state machine.
+
+Hypothesis drives the store with arbitrary op sequences — claims,
+heartbeats, commits (including commits by workers that never held the
+lease: the late-straggler case), releases, clock jumps, expiry sweeps —
+over a virtual clock, and after *every* op the store must uphold:
+
+* **No shard lost** — once enqueued, a shard is always either pending
+  (claimable eventually) or committed; draining the store at the end
+  always yields every shard exactly once.
+* **No shard committed twice** — result rows are unique per shard and the
+  first committed payload is never overwritten.
+* **Accounting identity** — ``claims − commits − expiries − releases ==
+  active leases`` at all times (the events audit table balances).
+* **Replay determinism** — the same op sequence on a fresh store produces
+  the identical event log and result set (modulo nothing: the clock is
+  virtual).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.store import ResultsStore, Shard, StoreError
+
+N_SHARDS = 4
+WORKERS = ("w0", "w1", "w2")
+SHARD_IDS = tuple(f"s{i}" for i in range(N_SHARDS))
+FP = {"suite": "queue-properties"}
+
+
+class VirtualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def fresh_store(path) -> "tuple[ResultsStore, VirtualClock]":
+    clock = VirtualClock()
+    store = ResultsStore(path, clock=clock)
+    store.initialise(
+        FP,
+        {"shards": N_SHARDS},
+        [
+            Shard(shard_id=sid, index=i, payload={"index": i})
+            for i, sid in enumerate(SHARD_IDS)
+        ],
+    )
+    return store, clock
+
+
+# One op = (kind, worker, shard, amount).  Shard/amount are ignored where
+# not applicable; commits by non-holders and heartbeats on unclaimed shards
+# are legal inputs the store must absorb, so nothing is filtered out.
+OPS = st.tuples(
+    st.sampled_from(["claim", "heartbeat", "commit", "release", "advance", "expire"]),
+    st.sampled_from(WORKERS),
+    st.sampled_from(SHARD_IDS),
+    st.sampled_from([1.0, 3.0, 10.0]),
+)
+
+LEASE = 5.0
+
+
+def apply(store: ResultsStore, clock: VirtualClock, op) -> "object":
+    kind, worker, shard, amount = op
+    if kind == "claim":
+        lease = store.claim(worker, LEASE)
+        return None if lease is None else (lease.shard.shard_id, lease.worker_id)
+    if kind == "heartbeat":
+        return store.heartbeat(shard, worker, LEASE)
+    if kind == "commit":
+        return store.commit(
+            shard,
+            worker,
+            result={"shard": shard, "worker": worker},
+            trace=[],
+            samples_total=int(amount) * 10,
+            trials_total=1,
+        )
+    if kind == "release":
+        return store.release(shard, worker)
+    if kind == "advance":
+        clock.now += amount
+        return clock.now
+    if kind == "expire":
+        return tuple(store.expire_leases())
+    raise AssertionError(kind)
+
+
+def audit_balance(store: ResultsStore) -> None:
+    """The accounting identity, asserted directly from the audit log:
+    claims − lease-resolving commits − expiries − releases == lease rows.
+    (Stale-but-unswept lease rows still count: their expiry event hasn't
+    been written yet.  A commit resolves a claim only when it released a
+    live lease — the audit detail records which kind each commit was.)"""
+    tally = store.event_tally()
+    resolving = sum(
+        1
+        for e in store.events()
+        if e["kind"] == "commit" and e["detail"].startswith("lease-resolved")
+    )
+    lease_rows = store._conn().execute("SELECT COUNT(*) FROM leases").fetchone()[0]
+    assert (
+        tally["claim"] - resolving - tally["expire"] - tally["release"]
+        == lease_rows
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(OPS, max_size=40))
+def test_invariants_hold_under_arbitrary_op_sequences(ops, tmp_path_factory):
+    path = tmp_path_factory.mktemp("queue") / "store.sqlite"
+    store, clock = fresh_store(path)
+    try:
+        for op in ops:
+            apply(store, clock, op)
+            store.check_invariants()
+            audit_balance(store)
+
+        # No shard lost, none committed twice: a drain always completes the
+        # sweep with each shard appearing exactly once.
+        clock.now += 2 * LEASE  # expire any leftover leases
+        while not store.finished():
+            lease = store.claim("drain", LEASE)
+            assert lease is not None, "pending shard became unclaimable — lost"
+            store.commit(
+                lease.shard.shard_id,
+                "drain",
+                result={"shard": lease.shard.shard_id, "worker": "drain"},
+                trace=[],
+                samples_total=1,
+                trials_total=1,
+            )
+        results = store.results()
+        assert [r.index for r in results] == list(range(N_SHARDS))
+        assert len({r.shard_id for r in results}) == N_SHARDS
+        store.check_invariants()
+    finally:
+        store.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(OPS, max_size=30))
+def test_replay_of_any_interleaving_is_deterministic(ops, tmp_path_factory):
+    """The same op sequence on a fresh store yields the identical audit log
+    and result set — byte-for-byte replayable coordination."""
+    logs = []
+    for run in range(2):
+        path = tmp_path_factory.mktemp(f"replay{run}") / "store.sqlite"
+        store, clock = fresh_store(path)
+        try:
+            returns = [apply(store, clock, op) for op in ops]
+            events = [
+                {k: e[k] for k in ("kind", "shard_id", "worker_id", "at")}
+                for e in store.events()
+            ]
+            results = [
+                (r.shard_id, r.index, r.worker_id, r.samples_total)
+                for r in store.results()
+            ]
+            logs.append((returns, events, results))
+        finally:
+            store.close()
+    assert logs[0] == logs[1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(OPS, max_size=30))
+def test_first_committed_payload_is_immutable(ops, tmp_path_factory):
+    """Whatever interleaving runs, the result row recorded at a shard's
+    first successful commit never changes afterwards."""
+    path = tmp_path_factory.mktemp("immutable") / "store.sqlite"
+    store, clock = fresh_store(path)
+    try:
+        first_seen: dict[str, tuple] = {}
+        for op in ops:
+            apply(store, clock, op)
+            for r in store.results():
+                row = (r.worker_id, r.samples_total, tuple(sorted(r.result.items())))
+                if r.shard_id not in first_seen:
+                    first_seen[r.shard_id] = row
+                else:
+                    assert first_seen[r.shard_id] == row, (
+                        f"shard {r.shard_id} result row mutated after commit"
+                    )
+    finally:
+        store.close()
+
+
+def test_commit_on_unknown_shard_is_loud(tmp_path):
+    store, _clock = fresh_store(tmp_path / "s.sqlite")
+    try:
+        with pytest.raises(StoreError):
+            store.commit(
+                "never-enqueued", "w0", result={}, trace=[], samples_total=0,
+                trials_total=0,
+            )
+    finally:
+        store.close()
