@@ -1,0 +1,109 @@
+"""CI closeness gate: error calibration, baseline blindness, wall clock.
+
+Compares a freshly produced ``BENCH_e28.json`` (see
+``bench_e28_closeness.py``) against
+``benchmarks/baselines/BENCH_e28_baseline.json``.  Three gates:
+
+* **calibration** — the fresh run's worst closeness error count (either
+  side) must stay within its own exact binomial bound (per-trial rate 1/3
+  at flake probability 1e-6).  Absolute: correctness never takes a
+  hardware factor;
+* **separation** — the naive double-identity baseline must keep accepting
+  the ε-far pairs (at least ``trials − binomial bound`` of them).  Also
+  absolute — if the baseline suddenly *rejects* far pairs, the instance
+  family no longer isolates the two-sample question and E28's headline
+  comparison is meaningless;
+* **wall clock** — per shared domain size, fresh closeness wall seconds
+  must stay within ``--factor`` (default 2.0, overridable by
+  ``REPRO_PERF_FACTOR`` for known-slow runners) of the baseline.
+
+Usage::
+
+    python benchmarks/check_closeness_regression.py BENCH_e28.json
+        [--baseline PATH] [--factor 2.0]
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_e28_baseline.json"
+
+
+def load(path: "str | Path") -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if "metrics" not in data or "bench" not in data:
+        raise SystemExit(f"{path}: not a BENCH_*.json payload")
+    return data
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly produced BENCH_e28.json")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--factor", type=float, default=None,
+                        help="wall-clock headroom vs baseline (default 2.0; "
+                        "REPRO_PERF_FACTOR overrides)")
+    args = parser.parse_args(argv)
+
+    factor = args.factor
+    if factor is None:
+        factor = float(os.environ.get("REPRO_PERF_FACTOR", "2.0"))
+    if factor <= 0:
+        raise SystemExit(f"factor must be positive, got {factor}")
+
+    fresh, base = load(args.fresh), load(args.baseline)
+    if fresh["bench"] != base["bench"]:
+        raise SystemExit(
+            f"bench mismatch: fresh={fresh['bench']!r} baseline={base['bench']!r}"
+        )
+
+    failures = []
+    fm = fresh["metrics"]
+
+    worst = fm.get("worst_closeness_errors")
+    bound = fm.get("max_errors_allowed")
+    if worst is None or bound is None:
+        raise SystemExit("fresh payload missing error metrics")
+    verdict = "ok" if worst <= bound else "REGRESSION"
+    print(f"calibration gate: worst side {worst} errors vs binomial bound "
+          f"{bound}  {verdict}")
+    if worst > bound:
+        failures.append("calibration")
+
+    accepts = fm.get("fewest_naive_far_accepts")
+    blind_bound = fm.get("naive_blind_bound")
+    if accepts is None or blind_bound is None:
+        raise SystemExit("fresh payload missing separation metrics")
+    verdict = "ok" if accepts >= blind_bound else "REGRESSION"
+    print(f"separation gate : naive baseline accepted {accepts} far pairs "
+          f"vs required {blind_bound}  {verdict}")
+    if accepts < blind_bound:
+        failures.append("separation")
+
+    base_times = base["metrics"].get("closeness_seconds_by_n", {})
+    fresh_times = fm.get("closeness_seconds_by_n", {})
+    shared = sorted(set(base_times) & set(fresh_times), key=int)
+    if not shared:
+        raise SystemExit("no shared domain sizes between fresh run and baseline")
+    for n in shared:
+        allowed = base_times[n] * factor
+        ok = fresh_times[n] <= allowed
+        print(f"wall gate @ n={n}: {fresh_times[n]:.3f}s vs allowed "
+              f"{allowed:.3f}s ({base_times[n]:.3f}s x {factor})  "
+              f"{'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            failures.append(f"wall@{n}")
+
+    if failures:
+        print(f"FAIL: {', '.join(failures)}")
+        return 1
+    print("all closeness gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

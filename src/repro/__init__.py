@@ -32,24 +32,32 @@ Top-level re-exports cover the common surface; sub-packages hold the rest:
 
 from repro.audit import audit_histogram, recommend_buckets
 from repro.core.config import TesterConfig
+from repro.core.closeness import ClosenessTester, ClosenessVerdict, test_closeness
 from repro.core.tester import HistogramTester, Verdict, test_histogram
 from repro.distributions import families
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.histogram import Histogram, is_k_histogram
 from repro.distributions.replay import ReplaySource
-from repro.distributions.sampling import SampleBudgetExceeded, SampleSource
+from repro.distributions.sampling import (
+    PairedSampleSource,
+    SampleBudgetExceeded,
+    SampleSource,
+)
 from repro.observability import NULL_TRACER, RecordingTracer, get_metrics
 from repro.robustness import FaultConfig, FaultInjectingSource
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClosenessTester",
+    "ClosenessVerdict",
     "DiscreteDistribution",
     "FaultConfig",
     "FaultInjectingSource",
     "Histogram",
     "HistogramTester",
     "NULL_TRACER",
+    "PairedSampleSource",
     "RecordingTracer",
     "ReplaySource",
     "SampleBudgetExceeded",
@@ -62,5 +70,6 @@ __all__ = [
     "get_metrics",
     "is_k_histogram",
     "recommend_buckets",
+    "test_closeness",
     "test_histogram",
 ]

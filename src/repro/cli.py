@@ -4,6 +4,8 @@ Six subcommands mirroring the library's main entry points:
 
 * ``test``    — run Algorithm 1 on a named workload (``--trace`` writes the
   structured span trace as JSONL);
+* ``closeness`` — run the two-sample closeness tester (DKN17 reduction) on
+  a named paired workload;
 * ``select``  — model selection (smallest ε-sufficient k) on a workload;
 * ``budget``  — print the sample-budget landscape for given (n, k, ε);
 * ``sweep``   — empirical sample-complexity sweep along one axis, with
@@ -183,6 +185,35 @@ def _cmd_test(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_closeness(args: argparse.Namespace) -> int:
+    from repro.core.closeness import closeness_budget, test_closeness
+    from repro.experiments.workloads import CLOSENESS_REGISTRY, make_pair
+
+    p, q = make_pair(args.workload, args.n, args.k, args.eps, rng=ensure_rng(args.seed))
+    tracer = RecordingTracer() if args.trace else NULL_TRACER
+    verdict = test_closeness(
+        p, q, args.k, args.eps, config=_config(args), rng=args.seed + 1,
+        kernel=args.kernel, trace=tracer,
+    )
+    nature = CLOSENESS_REGISTRY[args.workload].nature
+    print(f"workload  : {args.workload} ({nature})")
+    print(f"kernel    : {args.kernel} (resolved: {resolve_kernel(args.kernel)})")
+    print(f"verdict   : {'ACCEPT' if verdict.accept else 'REJECT'} (stage: {verdict.stage})")
+    print(f"reason    : {verdict.reason}")
+    print(f"samples   : {verdict.samples_used:,} "
+          f"(p: {verdict.samples_p:,}, q: {verdict.samples_q:,})")
+    budget = closeness_budget(args.n, args.k, args.eps, config=_config(args))
+    print(f"budget    : {budget:,.0f} (worst case, both streams)")
+    _print_stage_table(verdict)
+    if args.stage_timings:
+        print("kernel dispatches (op / kernel / calls / seconds):")
+        _print_kernel_table()
+    if args.trace:
+        write_jsonl(args.trace, tracer.export())
+        print(f"trace     : {args.trace} ({len(tracer.events)} events)")
+    return 0
+
+
 def _cmd_select(args: argparse.Namespace) -> int:
     dist = make(args.workload, args.n, args.k, args.eps, rng=args.seed)
     result = select_k(
@@ -304,6 +335,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             bisection_steps=args.bisection_steps,
             seed=args.seed,
             backend=args.backend,
+            task=args.task,
             config=_config(args),
         )
         result, fleet = distributed_sweep(
@@ -339,6 +371,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         backend=args.backend,
         kernel=args.kernel,
+        task=args.task,
         trace=tracer,
     )
     _print_sweep_result(args, result)
@@ -512,6 +545,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace(p_test)
     p_test.set_defaults(func=_cmd_test)
 
+    p_close = sub.add_parser(
+        "closeness",
+        help="run the two-sample closeness tester on a paired workload",
+    )
+    from repro.experiments.workloads import CLOSENESS_REGISTRY
+
+    p_close.add_argument(
+        "workload", choices=sorted(CLOSENESS_REGISTRY), help="named paired workload"
+    )
+    p_close.add_argument("--n", type=int, default=10_000, help="domain size")
+    p_close.add_argument("--k", type=int, default=8, help="histogram pieces")
+    p_close.add_argument("--eps", type=float, default=0.25, help="TV proximity")
+    p_close.add_argument("--seed", type=int, default=0, help="RNG seed")
+    p_close.add_argument(
+        "--profile",
+        choices=["practical", "paper"],
+        default="practical",
+        help="constant profile (paper = literal worst-case constants)",
+    )
+    p_close.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default="auto",
+        help="compute kernels (execution knob only — bit-identical results)",
+    )
+    p_close.add_argument(
+        "--stage-timings",
+        action="store_true",
+        default=False,
+        help="also print the per-op kernel dispatch breakdown",
+    )
+    _add_trace(p_close)
+    p_close.set_defaults(func=_cmd_closeness)
+
     p_select = sub.add_parser("select", help="find the smallest eps-sufficient k")
     p_select.add_argument("workload", choices=sorted(REGISTRY))
     _add_common(p_select)
@@ -555,6 +622,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated axis values, e.g. 1000,2000,4000",
     )
     _add_common(p_sweep)
+    p_sweep.add_argument(
+        "--task",
+        choices=["identity", "closeness"],
+        default="identity",
+        help="tester under measurement: one-sample identity (Algorithm 1) "
+        "or two-sample closeness (DKN17); fingerprint-bearing",
+    )
     p_sweep.add_argument("--trials", type=int, default=9, help="trials per evaluation")
     p_sweep.add_argument(
         "--bisection-steps", type=int, default=5, help="budget-bisection refinements"

@@ -11,6 +11,13 @@ from repro.core.budget import (
     theorem_upper_bound,
 )
 from repro.core.chi2 import Chi2Result, chi2_test, expected_statistic
+from repro.core.closeness import (
+    ClosenessPipeline,
+    ClosenessTester,
+    ClosenessVerdict,
+    closeness_budget,
+    test_closeness,
+)
 from repro.core.config import TesterConfig
 from repro.core.estimation import (
     DistanceEstimate,
@@ -24,6 +31,9 @@ from repro.core.tester import HistogramTester, Verdict, test_histogram
 
 __all__ = [
     "Chi2Result",
+    "ClosenessPipeline",
+    "ClosenessTester",
+    "ClosenessVerdict",
     "DistanceEstimate",
     "HistogramTester",
     "SieveResult",
@@ -33,6 +43,7 @@ __all__ = [
     "approx_partition",
     "cdgr16_budget",
     "chi2_test",
+    "closeness_budget",
     "estimate_distance_to_hk",
     "estimation_budget",
     "expected_statistic",
@@ -44,6 +55,7 @@ __all__ = [
     "partition_diagnostics",
     "sieve_intervals",
     "support_size_lower_bound",
+    "test_closeness",
     "test_histogram",
     "theorem_lower_bound",
     "theorem_upper_bound",

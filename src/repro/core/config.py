@@ -122,6 +122,21 @@ class TesterConfig:
     #: counts at ``cdkl22_escalation_factor × m`` and decide there.
     cdkl22_escalation_factor: float = 3.0
     cdkl22_guard_sigmas: float = 3.0
+    #: -- closeness (two-sample, DKN17) constants ---------------------------
+    #: (see :mod:`repro.core.closeness`)
+    #: Accept iff the paired statistic ``Z ≤ closeness_accept_fraction·m·ε'²``
+    #: — same role as ``chi2_accept_fraction`` but for the CDVV14-style
+    #: paired statistic whose far-side expectation is ``≥ 2·m·ε'²`` by
+    #: Cauchy–Schwarz on the kept (flattened) domain.
+    closeness_accept_fraction: float = 1.0 / 2.0
+    #: Final paired test distance parameter ``ε' = fraction·ε``; the partition
+    #: flattening and the per-stream sieve each eat a slice of ε, mirroring
+    #: the one-sample budget split.
+    closeness_final_eps_fraction: float = 13.0 / 30.0
+    #: Sample-free gate: reject when the two *learned* flattened histograms
+    #: are farther than ``closeness_check_fraction·ε`` apart in TV on the
+    #: jointly-kept domain — generous by design, like ``cdkl22_check_fraction``.
+    closeness_check_fraction: float = 0.5
 
     #: Multiplicative factors: must be strictly positive (a zero or negative
     #: factor silently produces nonsense budgets downstream).
@@ -149,6 +164,9 @@ class TesterConfig:
         "cdkl22_learner_eps_fraction",
         "cdkl22_final_eps_fraction",
         "cdkl22_check_fraction",
+        "closeness_accept_fraction",
+        "closeness_final_eps_fraction",
+        "closeness_check_fraction",
     )
 
     def __post_init__(self) -> None:
@@ -370,6 +388,24 @@ class TesterConfig:
         if m <= 0:
             raise ValueError(f"batch size must be positive, got {m}")
         return int(math.ceil(self.cdkl22_escalation_factor * m))
+
+    # -- closeness (two-sample) derived quantities ---------------------------
+
+    def closeness_final_eps(self, eps: float) -> float:
+        """The paired final test's distance parameter ``ε'``."""
+        return eps * self.closeness_final_eps_fraction
+
+    def closeness_check_tolerance(self, eps: float) -> float:
+        """Sample-free gate tolerance for ``dTV(p̂_flat, q̂_flat)`` on the
+        jointly-kept domain."""
+        return eps * self.closeness_check_fraction
+
+    def closeness_samples(self, n: int, param: float) -> int:
+        """Per-stream budget of one paired closeness batch at accuracy
+        ``param``.  Same ``√n/param²`` shape as :meth:`chi2_samples` — on a
+        flattened (b-interval) domain the DKN17 reduction runs the CDVV14
+        closeness tester whose small-sample regime is ``Θ(√n/ε²)``."""
+        return self.chi2_samples(n, param)
 
 
 # Pytest collects classes named Test*; this is a config object, not a suite.

@@ -31,8 +31,10 @@ from repro.core.backends import DEFAULT_BACKEND, validate_backend
 from repro.core.config import TesterConfig
 from repro.experiments.estimate import empirical_sample_complexity
 from repro.experiments.sweeps import (
+    ClosenessTesterFamily,
     HistogramTesterFamily,
     SweepPoint,
+    _default_paired_workloads,
     _default_workloads,
     _point_from_json,
     _point_to_json,
@@ -47,6 +49,7 @@ from repro.distributed.store import Shard
 #: Exactly the keys a serialised spec carries (a compatibility surface).
 SPEC_KEYS = frozenset(
     {
+        "task",
         "axis",
         "values",
         "n",
@@ -74,11 +77,16 @@ class SweepSpec:
     bisection_steps: int
     seed: int
     backend: str = DEFAULT_BACKEND
+    task: str = "identity"
     config: TesterConfig = None  # type: ignore[assignment]  # filled by __post_init__
 
     def __post_init__(self) -> None:
         if self.axis not in ("n", "k", "eps"):
             raise ValueError(f"axis must be one of n/k/eps, got {self.axis!r}")
+        if self.task not in ("identity", "closeness"):
+            raise ValueError(
+                f"task must be 'identity' or 'closeness', got {self.task!r}"
+            )
         if not self.values:
             raise ValueError("need at least one axis value")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
@@ -106,6 +114,7 @@ class SweepSpec:
             config=self.config,
             backend=self.backend,
             seed=self.seed,
+            task=self.task,
         )
 
     def shard_id(self, index: int) -> str:
@@ -175,6 +184,7 @@ class SweepSpec:
             bisection_steps=int(data["bisection_steps"]),
             seed=int(data["seed"]),
             backend=data["backend"],
+            task=data["task"],
             config=config,
         )
 
@@ -240,8 +250,14 @@ def run_shard(
     # streams from the sweep seed, take ours.  O(len(values)) int draws —
     # negligible next to the point itself.
     stream = spawn_rngs(spec.seed, len(spec.values))[index]
-    complete, far = _default_workloads(cur_n, cur_k, cur_eps)
-    family = HistogramTesterFamily(cur_k, cur_eps, spec.config, spec.backend, kernel)
+    if spec.task == "closeness":
+        complete, far = _default_paired_workloads(cur_n, cur_k, cur_eps)
+        family = ClosenessTesterFamily(cur_k, cur_eps, spec.config, kernel)
+    else:
+        complete, far = _default_workloads(cur_n, cur_k, cur_eps)
+        family = HistogramTesterFamily(
+            cur_k, cur_eps, spec.config, spec.backend, kernel
+        )
     tracer = RecordingTracer()
     with tracer.span(
         "point",

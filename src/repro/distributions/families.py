@@ -211,6 +211,88 @@ def far_from_hk(
     return perturbed
 
 
+def closeness_pair(
+    n: int,
+    k: int,
+    epsilon: float,
+    *,
+    ratio: float = 1.3,
+) -> tuple[Histogram, Histogram, float]:
+    """Two exact ``k``-histograms on the same partition at *exact* TV
+    distance ``epsilon`` — the certified-far instance family for two-sample
+    closeness testing (DKN17).
+
+    ``p`` is the :func:`staircase`; ``q`` moves ``epsilon`` of probability
+    mass between consecutive piece pairs (piece ``2i`` donates, piece
+    ``2i+1`` receives), so both stay ``k``-histograms on the same partition
+    and ``dTV(p, q) = ½·Σ_j |P_j − Q_j| = epsilon`` exactly.  Crucially the
+    distance lives at *piece* granularity, so any interval refinement of
+    the pieces (in particular the union-sample ``APPROXPART`` partition)
+    preserves it under flattening — unlike the within-pair perturbations of
+    :func:`paired_perturbation`, which flattening erases (see
+    :func:`closeness_lower_bound_pair`).
+
+    Returns ``(p, q, exact_tv)``.
+    """
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if k < 2:
+        raise ValueError("closeness_pair needs k >= 2 (one piece cannot donate)")
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    p = staircase(n, k, ratio=ratio)
+    masses = p.piece_masses()
+    pairs = len(masses) // 2
+    delta = epsilon / pairs
+    donors = masses[0 : 2 * pairs : 2]
+    if donors.min() <= delta:
+        raise ValueError(
+            f"epsilon={epsilon} too large: smallest donor piece holds "
+            f"{donors.min():.4g} <= per-pair transfer {delta:.4g}; lower "
+            "epsilon or bring ratio closer to 1"
+        )
+    q_masses = masses.copy()
+    q_masses[0 : 2 * pairs : 2] -= delta
+    q_masses[1 : 2 * pairs + 1 : 2] += delta
+    q = Histogram.from_masses(p.partition, q_masses)
+    exact_tv = 0.5 * float(np.abs(p.to_pmf() - q.to_pmf()).sum())
+    return p, q, exact_tv
+
+
+def closeness_lower_bound_pair(
+    n: int,
+    epsilon: float,
+    rng: RandomState = None,
+) -> tuple[DiscreteDistribution, DiscreteDistribution, float]:
+    """The Paninski-style *lower-bound* pair for closeness testing.
+
+    ``p`` is uniform; ``q`` moves ``δ = 2ε/n`` between the two halves of
+    every consecutive pair of points (random signs), so
+    ``dTV(p, q) = epsilon`` exactly — but every pair's *total* mass is
+    unchanged, so any flattening at granularity coarser than single points
+    sees two identical distributions.  This is the construction showing the
+    histogram *promise* is load-bearing: ``q`` is an n-histogram, not a
+    k-histogram, and the DKN17 interval reduction is provably blind to it
+    (the tester must accept at the promised k; only the raw-domain
+    degenerate regime can reject).  Returns ``(p, q, exact_tv)``.
+    """
+    if n < 2 or n % 2:
+        raise ValueError(f"need even n >= 2, got {n}")
+    if not 0 < epsilon < 0.5:
+        # δ = 2ε/n must keep 1/n − δ non-negative.
+        raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+    gen = ensure_rng(rng)
+    pmf = np.full(n, 1.0 / n)
+    delta = 2.0 * epsilon / n
+    signs = np.where(gen.random(n // 2) < 0.5, 1.0, -1.0)
+    perturbed = pmf.copy()
+    perturbed[0::2] += signs * delta
+    perturbed[1::2] -= signs * delta
+    q = DiscreteDistribution(perturbed)
+    exact_tv = 0.5 * float(np.abs(pmf - perturbed).sum())
+    return DiscreteDistribution(pmf), q, exact_tv
+
+
 def two_level_comb(n: int, teeth: int, contrast: float = 3.0) -> DiscreteDistribution:
     """A comb alternating heavy/light blocks: an exact ``2·teeth``-histogram.
 

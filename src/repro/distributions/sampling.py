@@ -194,6 +194,153 @@ class SampleSource:
         )
 
 
+class _JointBudgetStream(SampleSource):
+    """One stream of a :class:`PairedSampleSource`.
+
+    Draws are served by the underlying per-stream source (so fault-injecting
+    or deadline wrappers compose unchanged: pass a wrapped source into the
+    pair), but every charge is checked against — and recorded into — the
+    pair's *joint* budget in addition to this stream's own counters.  The
+    stream's own counters are the accounting surface of record for the pair:
+    they are charged before delegation, so ``pair.samples_drawn`` stays
+    integer-exact even when the base source faults mid-draw.
+    """
+
+    def __init__(self, pair: "PairedSampleSource", base: SampleSource) -> None:
+        self._pair = pair
+        self._base = base
+        self._init_accounting(None)
+
+    @property
+    def n(self) -> int:
+        return self._base.n
+
+    @property
+    def max_samples(self) -> int | None:
+        """The pair's *joint* cap: one budget governs both streams."""
+        return self._pair.max_samples
+
+    def _charge(self, m: float) -> None:
+        units = charge_units(m)
+        self._pair._check_joint(units)
+        self._record(units)
+        self._pair._record_joint(units)
+
+    def draw(self, m: int) -> np.ndarray:
+        self._charge(m)
+        return self._base.draw(m)
+
+    def draw_counts(self, m: int) -> np.ndarray:
+        self._charge(m)
+        return self._base.draw_counts(m)
+
+    def draw_counts_poissonized(self, m: float) -> np.ndarray:
+        self._charge(m)
+        return self._base.draw_counts_poissonized(m)
+
+    def spawn(self) -> "SampleSource":
+        raise TypeError(
+            "a paired stream cannot be spawned on its own — spawn the "
+            "PairedSampleSource so the joint budget is preserved"
+        )
+
+    def permuted(self, sigma: np.ndarray) -> "SampleSource":
+        raise TypeError("paired streams do not support permutation")
+
+
+class PairedSampleSource:
+    """Two per-stream sample sources sharing one joint budget.
+
+    The two-sample closeness tester (:mod:`repro.core.closeness`) draws from
+    two unknown distributions ``p`` and ``q``.  The quantity the
+    sample-complexity experiments measure — and the quantity a
+    :class:`~repro.observability.ledger.SampleLedger` reconciles — is the
+    *sum* over both streams, so the pair enforces one joint ``max_samples``
+    cap while each stream keeps its own ``lifetime_drawn`` audit trail.
+
+    Either side may be a raw :class:`DiscreteDistribution` (sampled through a
+    child stream of ``rng``) or an existing :class:`SampleSource` (e.g. a
+    fault-injecting or deadline wrapper), whose own per-source cap, if any,
+    stays enforced underneath the joint one.
+    """
+
+    def __init__(
+        self,
+        p: DiscreteDistribution | SampleSource,
+        q: DiscreteDistribution | SampleSource,
+        rng: RandomState = None,
+        *,
+        max_samples: float | None = None,
+    ) -> None:
+        if isinstance(p, SampleSource) and isinstance(q, SampleSource):
+            if rng is not None:
+                raise ValueError("cannot reseed existing SampleSources")
+        else:
+            rng = ensure_rng(rng)
+        base_p = p if isinstance(p, SampleSource) else SampleSource(p, child_rng(rng))
+        base_q = q if isinstance(q, SampleSource) else SampleSource(q, child_rng(rng))
+        if base_p.n != base_q.n:
+            raise ValueError(
+                f"paired sources must share a domain, got n={base_p.n} and n={base_q.n}"
+            )
+        if max_samples is not None and max_samples <= 0:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
+        self._max_samples = None if max_samples is None else charge_units(max_samples)
+        self._drawn = 0
+        self._lifetime_drawn = 0
+        self.p = _JointBudgetStream(self, base_p)
+        self.q = _JointBudgetStream(self, base_q)
+
+    # -- joint accounting ---------------------------------------------------
+
+    def _check_joint(self, units: int) -> None:
+        if self._max_samples is not None and self._drawn + units > self._max_samples:
+            raise SampleBudgetExceeded(units, self._drawn, self._max_samples)
+
+    def _record_joint(self, units: int) -> None:
+        self._drawn += units
+        self._lifetime_drawn += units
+
+    @property
+    def n(self) -> int:
+        """Shared domain size of both streams."""
+        return self.p.n
+
+    @property
+    def samples_drawn(self) -> int:
+        """Joint per-trial total over both streams (always an exact
+        integer; always equals ``p.samples_drawn + q.samples_drawn``)."""
+        return self._drawn
+
+    @property
+    def lifetime_drawn(self) -> int:
+        """Cumulative joint total; never reset."""
+        return self._lifetime_drawn
+
+    @property
+    def draw_calls(self) -> int:
+        """Charged draw operations across both streams."""
+        return self.p.draw_calls + self.q.draw_calls
+
+    @property
+    def max_samples(self) -> int | None:
+        """The joint per-trial hard cap, or ``None`` when unenforced."""
+        return self._max_samples
+
+    def reset_budget(self) -> None:
+        """Zero the joint and both per-stream per-trial counters."""
+        self._drawn = 0
+        self.p.reset_budget()
+        self.q.reset_budget()
+
+    def spawn(self) -> "PairedSampleSource":
+        """An independent pair over the same distributions (fresh streams,
+        fresh joint headroom) — used for trial isolation."""
+        return PairedSampleSource(
+            self.p._base.spawn(), self.q._base.spawn(), max_samples=self._max_samples
+        )
+
+
 def as_source(
     dist: DiscreteDistribution | SampleSource, rng: RandomState = None
 ) -> SampleSource:

@@ -21,7 +21,7 @@ from typing import Callable, Union
 import numpy as np
 
 from repro.distributions.discrete import DiscreteDistribution
-from repro.distributions.sampling import SampleSource
+from repro.distributions.sampling import PairedSampleSource, SampleSource
 from repro.observability.metrics import get_metrics
 from repro.observability.trace import NULL_TRACER, RecordingTracer, Tracer
 from repro.parallel.engine import TrialOutcome, run_trials
@@ -36,12 +36,18 @@ from repro.robustness.resilience import (
 from repro.util.rng import RandomState, child_rng, spawn_seed_sequences
 from repro.util.stats import wilson_interval
 
-#: A workload is either a fixed distribution or a per-trial factory.
+#: A workload is either a fixed distribution or a per-trial factory.  A
+#: factory may instead return a ``(p, q)`` *tuple* of distributions — a
+#: two-sample (closeness) workload; such trials judge the tester on a
+#: :class:`~repro.distributions.sampling.PairedSampleSource` built from the
+#: pair, with the trial's budget cap enforced jointly across both streams.
 Workload = Union[DiscreteDistribution, Callable[[np.random.Generator], DiscreteDistribution]]
 
 #: A tester is any callable judging a sample source.  A tester that sets
 #: ``supports_trace = True`` additionally accepts a ``trace=`` keyword and
 #: will be handed each trial's recording tracer when tracing is on.
+#: Testers for paired workloads receive the trial's
+#: :class:`~repro.distributions.sampling.PairedSampleSource` instead.
 Tester = Callable[[SampleSource], bool]
 
 
@@ -82,6 +88,51 @@ def _materialise(workload: Workload, gen: np.random.Generator) -> DiscreteDistri
     return workload(gen)
 
 
+def _plain_source(
+    dist, gen: np.random.Generator
+) -> "SampleSource | PairedSampleSource":
+    """The unguarded trial's source: single-stream, or a joint-budget pair."""
+    if isinstance(dist, tuple):
+        p, q = dist
+        return PairedSampleSource(p, q, gen)
+    return SampleSource(dist, gen)
+
+
+def _guarded_source(
+    dist,
+    gen: np.random.Generator,
+    max_samples: "float | None",
+    wrap: "SourceWrapper | None",
+    deadline: "Deadline | None",
+) -> "SampleSource | PairedSampleSource":
+    """The fault-isolated trial's source, with wrappers composed per stream.
+
+    For a ``(p, q)`` pair each stream is wrapped independently (faults and
+    deadlines hit the stream they were drawn through, exactly as for a
+    single source) while the budget cap is enforced *jointly* by the pair —
+    the cap bounds total draw volume, which is what the sample-complexity
+    experiments measure.
+    """
+
+    def build(d) -> SampleSource:
+        source = SampleSource(d, child_rng(gen))
+        if wrap is not None:
+            source = wrap(source, gen)
+        if deadline is not None:
+            source = DeadlineSource(source, deadline)
+        return source
+
+    if isinstance(dist, tuple):
+        p, q = dist
+        return PairedSampleSource(build(p), build(q), max_samples=max_samples)
+    source: SampleSource = SampleSource(dist, gen, max_samples=max_samples)
+    if wrap is not None:
+        source = wrap(source, gen)
+    if deadline is not None:
+        source = DeadlineSource(source, deadline)
+    return source
+
+
 @dataclass(frozen=True)
 class PlainTrial:
     """One unguarded trial: draw the instance, run the tester, report.
@@ -97,7 +148,7 @@ class PlainTrial:
     def __call__(self, index: int, seed: np.random.SeedSequence) -> TrialOutcome:
         gen = np.random.default_rng(seed)
         dist = _materialise(self.workload, gen)
-        source = SampleSource(dist, gen)
+        source = _plain_source(dist, gen)
         tracer = RecordingTracer() if self.collect_trace else None
         verdict = _judge(self.tester, source, tracer)
         return TrialOutcome(
@@ -141,13 +192,9 @@ class RobustTrial:
             last_attempt[0] = attempt_number
             gen = child_rng(trial_stream)
             dist = _materialise(self.workload, gen)
-            source: SampleSource = SampleSource(
-                dist, gen, max_samples=policy.max_samples
+            source = _guarded_source(
+                dist, gen, policy.max_samples, self.wrap_source, deadline
             )
-            if self.wrap_source is not None:
-                source = self.wrap_source(source, gen)
-            if deadline is not None:
-                source = DeadlineSource(source, deadline)
             tracer = RecordingTracer() if self.collect_trace else None
             last_tracer[0] = tracer
             verdict = _judge(self.tester, source, tracer)

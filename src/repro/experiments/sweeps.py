@@ -17,6 +17,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.core.backends import DEFAULT_BACKEND, validate_backend
+from repro.core.closeness import test_closeness
 from repro.core.config import TesterConfig
 from repro.core.tester import test_histogram
 from repro.distributions import families
@@ -138,10 +139,65 @@ class HistogramTesterFamily:
         )
 
 
+@dataclass(frozen=True)
+class PairedClosenessTester:
+    """Picklable two-sample tester at a fixed budget scale.
+
+    Judges a :class:`~repro.distributions.sampling.PairedSampleSource` (the
+    trial runner builds one whenever a workload factory returns a ``(p, q)``
+    tuple).  There is no backend knob: the DKN17 reduction has a single
+    implementation on the shared substrate.
+    """
+
+    k: int
+    eps: float
+    config: TesterConfig
+    kernel: str = "auto"
+
+    supports_trace = True
+
+    def __call__(self, pair, trace: Tracer = NULL_TRACER) -> bool:
+        return test_closeness(
+            pair,
+            k=self.k,
+            eps=self.eps,
+            config=self.config,
+            kernel=self.kernel,
+            trace=trace,
+        ).accept
+
+
+@dataclass(frozen=True)
+class ClosenessTesterFamily:
+    """Picklable closeness tester family indexed by budget scale."""
+
+    k: int
+    eps: float
+    config: TesterConfig
+    kernel: str = "auto"
+
+    def __call__(self, scale: float) -> PairedClosenessTester:
+        return PairedClosenessTester(
+            self.k, self.eps, self.config.scaled(scale), self.kernel
+        )
+
+
 def _default_workloads(
     n: int, k: int, eps: float
 ) -> tuple[Callable, Callable]:
     return StaircaseWorkload(n, k), FarFromHkWorkload(n, k, eps)
+
+
+def _default_paired_workloads(
+    n: int, k: int, eps: float
+) -> tuple[Callable, Callable]:
+    """Default closeness sides: identical staircases / exact-ε shifted pair."""
+    from repro.experiments.workloads import BoundPairedWorkload
+
+    return (
+        BoundPairedWorkload("identical-staircase", n, k, eps),
+        BoundPairedWorkload("shifted-staircase", n, k, eps),
+    )
 
 
 #: Seed-stream tag for ground-truth labelling generators.  Labels get their
@@ -155,16 +211,26 @@ def _label_point(
     point: SweepPoint,
     make_workloads: Callable[[int, int, float], tuple[Callable, Callable]],
     index: int,
+    task: str = "identity",
 ) -> dict[str, dict[str, float]]:
-    """Certified dTV(·, H_k) bounds for one instance of each workload side."""
-    from repro.experiments.workloads import ground_truth_bounds
+    """Ground-truth labels for one instance of each workload side.
+
+    Identity sweeps label each side with certified ``dTV(·, H_k)`` bounds;
+    closeness sweeps label each pair with its exact ``dTV(p, q)`` (the pair
+    distance is closed-form, so lower = upper).
+    """
+    from repro.experiments.workloads import ground_truth_bounds, pair_ground_truth
 
     complete, far = make_workloads(point.n, point.k, point.eps)
     labels: dict[str, dict[str, float]] = {}
     for side, factory in (("complete", complete), ("far", far)):
         gen = np.random.default_rng([_LABEL_STREAM_TAG, index])
-        lower, upper = ground_truth_bounds(factory(gen), point.k)
-        labels[side] = {"lower": lower, "upper": upper}
+        if task == "closeness":
+            tv = pair_ground_truth(*factory(gen))
+            labels[side] = {"lower": tv, "upper": tv}
+        else:
+            lower, upper = ground_truth_bounds(factory(gen), point.k)
+            labels[side] = {"lower": lower, "upper": upper}
     return labels
 
 
@@ -180,6 +246,7 @@ def sweep_fingerprint(
     config: TesterConfig,
     backend: str,
     seed: int,
+    task: str = "identity",
 ) -> dict[str, Any]:
     """The canonical parameter fingerprint of a sweep.
 
@@ -190,10 +257,18 @@ def sweep_fingerprint(
     are bit-identical at any count and under any kernel, so a checkpoint
     must resume across machines with different parallelism or native
     extras.  The backend *does* enter: it changes budgets and verdicts.
+
+    ``task`` ("identity" | "closeness") is likewise fingerprint-bearing:
+    identity and closeness sweeps draw different streams and measure
+    different testers, so a checkpoint or results-store shard of one must
+    never be spliced into the other even when every numeric knob matches.
     """
+    if task not in ("identity", "closeness"):
+        raise ValueError(f"task must be 'identity' or 'closeness', got {task!r}")
     config_print = asdict(config)
     config_print.pop("workers", None)
     return {
+        "task": task,
         "axis": axis,
         "values": [float(v) for v in values],
         "n": n,
@@ -272,14 +347,23 @@ def complexity_sweep(
     workers: int | None = None,
     backend: str = DEFAULT_BACKEND,
     kernel: str = "auto",
+    task: str = "identity",
     label_ground_truth: bool = False,
     trace: Tracer = NULL_TRACER,
 ) -> SweepResult:
     """Sweep one axis (``"n"``, ``"k"`` or ``"eps"``) of the tester's
     empirical sample complexity; other parameters stay fixed.
 
+    ``task`` selects the tester under measurement: ``"identity"`` (the
+    default — Algorithm 1's one-sample membership tester) or
+    ``"closeness"`` (the two-sample DKN17 tester; workload factories then
+    return ``(p, q)`` pairs and the "complete"/"far" sides become
+    "p = q" / "dTV(p, q) ≥ ε").  The task is part of the checkpoint
+    fingerprint, so identity and closeness checkpoints never cross-resume.
+
     ``workloads(n, k, eps) -> (complete_factory, far_factory)`` customises
-    the instances (defaults: staircase / certified sawtooth).
+    the instances (defaults: staircase / certified sawtooth for identity;
+    identical-staircase / shifted-staircase pairs for closeness).
 
     ``checkpoint`` names a JSON file the sweep saves atomically after every
     completed point; with ``resume=True`` (the default) an existing
@@ -328,13 +412,18 @@ def complexity_sweep(
         raise ValueError(f"axis must be one of n/k/eps, got {axis!r}")
     if not values:
         raise ValueError("need at least one axis value")
+    if task not in ("identity", "closeness"):
+        raise ValueError(f"task must be 'identity' or 'closeness', got {task!r}")
     if config is None:
         config = TesterConfig.practical()
     if workers is None:
         workers = config.workers
     validate_backend(backend)
     validate_kernel(kernel)
-    make_workloads = workloads if workloads is not None else _default_workloads
+    default_workloads = (
+        _default_paired_workloads if task == "closeness" else _default_workloads
+    )
+    make_workloads = workloads if workloads is not None else default_workloads
 
     store = resolve_store(checkpoint)
     done: list[SweepPoint] = []
@@ -356,6 +445,7 @@ def complexity_sweep(
             config=config,
             backend=backend,
             seed=rng,
+            task=task,
         )
         if resume:
             state = load_if_matching(store, fingerprint)
@@ -376,7 +466,10 @@ def complexity_sweep(
         else:
             cur_eps = float(value)
         complete, far = make_workloads(cur_n, cur_k, cur_eps)
-        family = HistogramTesterFamily(cur_k, cur_eps, config, backend, kernel)
+        if task == "closeness":
+            family = ClosenessTesterFamily(cur_k, cur_eps, config, kernel)
+        else:
+            family = HistogramTesterFamily(cur_k, cur_eps, config, backend, kernel)
         with trace.span(
             "point", axis=axis, value=float(value), n=cur_n, k=cur_k, eps=cur_eps
         ):
@@ -403,7 +496,7 @@ def complexity_sweep(
     ground_truth = None
     if label_ground_truth:
         ground_truth = [
-            _label_point(point, make_workloads, index)
+            _label_point(point, make_workloads, index, task)
             for index, point in enumerate(points)
         ]
 

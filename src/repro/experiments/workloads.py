@@ -172,10 +172,10 @@ class BoundWorkload:
         return get_workload(self.name).factory(self.n, self.k, self.eps, gen)
 
 
-#: Memoized ground-truth labels, keyed by (pmf bytes, k).  Sweeps re-label
-#: the same instance once per point; the cache is bounded so long sweeps
-#: over many distinct instances cannot grow memory without limit.
-_GROUND_TRUTH_CACHE: "OrderedDict[tuple[bytes, int], tuple[float, float]]" = OrderedDict()
+#: Memoized ground-truth labels, keyed by (pmf bytes, shape, dtype, k).
+#: Sweeps re-label the same instance once per point; the cache is bounded so
+#: long sweeps over many distinct instances cannot grow memory without limit.
+_GROUND_TRUTH_CACHE: "OrderedDict[tuple, tuple[float, float]]" = OrderedDict()
 _GROUND_TRUTH_CACHE_SIZE = 128
 
 
@@ -197,7 +197,10 @@ def ground_truth_bounds(
     )
     from repro.observability.metrics import get_metrics
 
-    key = (pmf.tobytes(), int(k))
+    # Shape and dtype are part of the key: two arrays with identical raw
+    # bytes but different shape or dtype (e.g. a float32 pmf whose bytes
+    # happen to coincide with half of a float64 one) must never collide.
+    key = (pmf.tobytes(), pmf.shape, pmf.dtype.str, int(k))
     cached = _GROUND_TRUTH_CACHE.get(key)
     if cached is not None:
         _GROUND_TRUTH_CACHE.move_to_end(key)
@@ -209,6 +212,147 @@ def ground_truth_bounds(
     if len(_GROUND_TRUTH_CACHE) > _GROUND_TRUTH_CACHE_SIZE:
         _GROUND_TRUTH_CACHE.popitem(last=False)
     return bounds
+
+
+# -- two-sample (closeness) workloads ----------------------------------------
+
+PmfPair = "tuple[DiscreteDistribution, DiscreteDistribution]"
+
+
+@dataclass(frozen=True)
+class PairedWorkload:
+    """A named, reproducible two-distribution scenario for closeness
+    testing.  ``nature`` is "close" (``p = q``, a sound tester must accept)
+    or "far" (``dTV(p, q) ≥ ε`` exactly by construction)."""
+
+    name: str
+    description: str
+    #: ``factory(n, k, eps, rng) -> (p, q)`` at the experiment's scale.
+    factory: Callable[[int, int, float, np.random.Generator], tuple]
+    nature: str
+
+
+def _identical_staircase(n, k, eps, gen):
+    d = families.staircase(n, k).to_distribution()
+    return d, d
+
+
+def _identical_random(n, k, eps, gen):
+    d = families.random_histogram(n, k, gen, min_width=max(1, n // (8 * k))).to_distribution()
+    return d, d
+
+
+def _shifted_staircase(n, k, eps, gen):
+    p, q, _ = families.closeness_pair(n, k, eps)
+    return p.to_distribution(), q.to_distribution()
+
+
+def _offset_combs(n, k, eps, gen):
+    # Two combs in antiphase: both exact 2·teeth-histograms, far apart.
+    teeth = max(1, k // 2)
+    p = families.two_level_comb(n, teeth)
+    q = DiscreteDistribution(p.pmf[::-1].copy())
+    return p, q
+
+
+def _lower_bound_pair(n, k, eps, gen):
+    even_n = n - (n % 2)
+    p, q, _ = families.closeness_lower_bound_pair(even_n, min(eps, 0.49), gen)
+    return p.embed(n), q.embed(n)
+
+
+CLOSENESS_REGISTRY: dict[str, PairedWorkload] = {
+    w.name: w
+    for w in [
+        PairedWorkload(
+            "identical-staircase",
+            "two streams of the same k-step price-band attribute",
+            _identical_staircase,
+            "close",
+        ),
+        PairedWorkload(
+            "identical-random",
+            "two streams of one random k-piece profile",
+            _identical_random,
+            "close",
+        ),
+        PairedWorkload(
+            "shifted-staircase",
+            "staircase vs staircase with ε mass moved between piece pairs "
+            "(exact dTV = ε; flattening-proof)",
+            _shifted_staircase,
+            "far",
+        ),
+        PairedWorkload(
+            "offset-combs",
+            "two antiphase heavy/light combs (exact 2·teeth-histograms)",
+            _offset_combs,
+            "far",
+        ),
+        PairedWorkload(
+            "flattening-blind",
+            "uniform vs within-pair ±δ perturbation: dTV = ε but invisible "
+            "to any interval flattening (the promise-violation lower bound)",
+            _lower_bound_pair,
+            "far",
+        ),
+    ]
+}
+
+
+def get_paired_workload(name: str) -> PairedWorkload:
+    """Look up a closeness workload by name (raising with the names)."""
+    if name not in CLOSENESS_REGISTRY:
+        raise KeyError(
+            f"unknown paired workload {name!r}; available: {sorted(CLOSENESS_REGISTRY)}"
+        )
+    return CLOSENESS_REGISTRY[name]
+
+
+def make_pair(
+    name: str, n: int, k: int, eps: float, rng: RandomState = None
+) -> tuple[DiscreteDistribution, DiscreteDistribution]:
+    """Instantiate a named paired workload at the given scale."""
+    return get_paired_workload(name).factory(n, k, eps, ensure_rng(rng))
+
+
+@dataclass(frozen=True)
+class BoundPairedWorkload:
+    """A paired workload bound to a scale: a picklable per-trial factory
+    returning ``(p, q)`` (the two-sample sibling of
+    :class:`BoundWorkload`)."""
+
+    name: str
+    n: int
+    k: int
+    eps: float
+
+    def __call__(
+        self, gen: np.random.Generator
+    ) -> tuple[DiscreteDistribution, DiscreteDistribution]:
+        return get_paired_workload(self.name).factory(self.n, self.k, self.eps, gen)
+
+
+def pair_ground_truth(
+    p: DiscreteDistribution | np.ndarray, q: DiscreteDistribution | np.ndarray
+) -> float:
+    """Exact ``dTV(p, q)`` — for pairs the ground truth is closed-form
+    (no projection DP needed), so no cache either."""
+    pp = p.pmf if isinstance(p, DiscreteDistribution) else np.asarray(p, float)
+    qq = q.pmf if isinstance(q, DiscreteDistribution) else np.asarray(q, float)
+    if pp.shape != qq.shape:
+        raise ValueError("pair pmfs cover different domains")
+    return 0.5 * float(np.abs(pp - qq).sum())
+
+
+def closeness_close_workloads() -> list[PairedWorkload]:
+    """All paired workloads with ``p = q``."""
+    return [w for w in CLOSENESS_REGISTRY.values() if w.nature == "close"]
+
+
+def closeness_far_workloads() -> list[PairedWorkload]:
+    """All paired workloads with exact ``dTV(p, q) ≥ ε`` by construction."""
+    return [w for w in CLOSENESS_REGISTRY.values() if w.nature == "far"]
 
 
 def completeness_workloads() -> list[Workload]:

@@ -36,6 +36,7 @@ from numba import njit
 from repro.kernels.dispatch import register
 from repro.kernels.pykernels import (
     RankTreeData,
+    chi2_paired_point_terms as _py_chi2_paired_point_terms,
     chi2_point_terms as _py_chi2_point_terms,
 )
 
@@ -310,6 +311,37 @@ def chi2_point_terms(
     # Broadcast batches (serve's stacked tensors) stay on the numpy kernel:
     # elementwise either way, so results are identical.
     return _py_chi2_point_terms(counts, m, reference_pmf, mask)
+
+
+@njit(cache=True)
+def _paired_terms_1d_jit(
+    x: np.ndarray, y: np.ndarray, mask: np.ndarray, out: np.ndarray
+) -> None:
+    for i in range(x.shape[0]):
+        total = x[i] + y[i]
+        if mask[i] and total > 0.0:
+            d = x[i] - y[i]
+            out[i] = (d * d - total) / total
+        else:
+            out[i] = 0.0
+
+
+@register("chi2.paired_point_terms", "numba")
+def chi2_paired_point_terms(
+    counts_x: np.ndarray,
+    counts_y: np.ndarray,
+    mask: np.ndarray,
+) -> np.ndarray:
+    x = np.asarray(counts_x, dtype=np.float64)
+    y = np.asarray(counts_y, dtype=np.float64)
+    msk = np.asarray(mask, dtype=np.bool_)
+    if x.ndim == 1 and y.shape == x.shape and msk.shape == x.shape:
+        out = np.empty_like(x)
+        _paired_terms_1d_jit(x, y, msk, out)
+        return out
+    # Broadcast batches (median-amplified repeat stacks) stay on the numpy
+    # kernel: elementwise either way, so results are identical.
+    return _py_chi2_paired_point_terms(counts_x, counts_y, mask)
 
 
 @njit(cache=True)

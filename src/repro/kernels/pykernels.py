@@ -396,6 +396,25 @@ def chi2_point_terms(
     return np.where(mask & (expected > 0), terms, 0.0)
 
 
+@register("chi2.paired_point_terms", "python")
+def chi2_paired_point_terms(
+    counts_x: np.ndarray,
+    counts_y: np.ndarray,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Paired closeness terms ``((X − Y)² − X − Y) / (X + Y)``, broadcastable
+    over stacked ``(repeats, B)`` batches; zero where masked out or the
+    pair total vanishes.  Under ``p = q`` every term has mean exactly zero
+    (conditionally on ``X + Y``, ``X`` is ``Binomial(X+Y, 1/2)``)."""
+    counts_x = np.asarray(counts_x, dtype=np.float64)
+    counts_y = np.asarray(counts_y, dtype=np.float64)
+    total = counts_x + counts_y
+    diff = counts_x - counts_y
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        terms = (diff * diff - total) / total
+    return np.where(mask & (total > 0), terms, 0.0)
+
+
 @register("serve.aggregate_rows", "python")
 def aggregate_rows(terms: np.ndarray, starts: np.ndarray) -> np.ndarray:
     """Segment sums of every row of a ``(repeats, n)`` matrix at once.

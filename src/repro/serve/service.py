@@ -206,6 +206,11 @@ class TesterService:
         self._session_counter = 0
         self._check_cache: "OrderedDict[tuple, bool]" = OrderedDict()
         self._project_cache: "OrderedDict[tuple, Projection]" = OrderedDict()
+        #: Cache keys whose fast projection engine failed *deterministically*:
+        #: later calls (any session) go straight to the dense DP instead of
+        #: re-driving the fast path into the same failure.  Injected chaos
+        #: faults are transient and deliberately never land here.
+        self._fast_path_failed: set[tuple] = set()
         self.rounds_run = 0
         self._draining = False
         #: Per-session exported trace events (request_id → event tuple),
@@ -512,6 +517,28 @@ class TesterService:
             self.breakers[source_id] = breaker
         return breaker
 
+    @staticmethod
+    def _array_key(values) -> tuple:
+        """Byte key of one array operand: raw bytes *plus* shape and dtype.
+
+        Bytes alone are ambiguous — a float32 pmf whose buffer coincides
+        with half of a float64 one, or a (2, n) stack sharing bytes with a
+        (2n,) vector, must never collide — so every byte-keyed cache here
+        keys on ``(tobytes, shape, dtype.str)``.
+        """
+        arr = np.ascontiguousarray(values)
+        return (arr.tobytes(), arr.shape, arr.dtype.str)
+
+    def _check_key(self, pmf, partition, k, kept, tolerance, engine) -> tuple:
+        return (
+            self._array_key(pmf),
+            int(k),
+            self._array_key(partition.boundaries),
+            self._array_key(kept),
+            float(tolerance),
+            engine,
+        )
+
     def _check_cached(self, pmf, partition, k, kept, tolerance, engine) -> bool:
         """The shared projection-check cache (LRU over exact byte keys).
 
@@ -520,14 +547,7 @@ class TesterService:
         exact answer under any other.  (The pipeline's ``use_kernel`` scope
         still governs which kernel computes a miss.)
         """
-        key = (
-            np.asarray(pmf).tobytes(),
-            int(k),
-            partition.boundaries.tobytes(),
-            np.asarray(kept).tobytes(),
-            float(tolerance),
-            engine,
-        )
+        key = self._check_key(pmf, partition, k, kept, tolerance, engine)
         metrics = get_metrics()
         if key in self._check_cache:
             self._check_cache.move_to_end(key)
@@ -542,6 +562,18 @@ class TesterService:
             self._check_cache.popitem(last=False)
         return value
 
+    def _note_fallback(self, session: StreamSession) -> None:
+        """Account one *observed* fast-path fault and degrade the session.
+
+        ``serve.projection_fallbacks`` counts faults — actual fast-engine
+        failures as they happen — never the cheap dense re-routes of a
+        memoized known-bad key; :meth:`StreamSession.degrade` is
+        first-mode-sticks, so a session degrades at most once per reason
+        however many oracle calls it makes.
+        """
+        get_metrics().counter("serve.projection_fallbacks").inc()
+        session.degrade("projection-dense-fallback")
+
     def _make_check_oracle(self, session: StreamSession):
         """A per-session oracle: shared cache + dense-engine fallback.
 
@@ -550,26 +582,49 @@ class TesterService:
         session's verdict ``projection-dense-fallback`` — degraded but
         correct beats crashed.  A dense-path failure propagates: there is
         no further fallback, and masking it would hide a real bug.
+
+        A *deterministic* fast-path failure is memoized by cache key: later
+        calls on the same inputs route straight to the dense DP (still
+        degrading their session, exactly once) without re-failing the fast
+        engine or inflating the fallback counter.
         """
 
         def oracle(pmf, partition, k, kept, tolerance, engine="auto"):
-            try:
-                if session.projection_fault_pending:
-                    session.projection_fault_pending = False
+            if session.projection_fault_pending:
+                # Injected chaos fault: transient, so it counts as a fault
+                # and is never memoized against the key.
+                session.projection_fault_pending = False
+                if engine == "dense":
                     raise ProjectionOracleError(
                         "injected projection-oracle fault (chaos schedule)"
                     )
+                self._note_fallback(session)
+                return self._check_cached(pmf, partition, k, kept, tolerance, "dense")
+            key = self._check_key(pmf, partition, k, kept, tolerance, engine)
+            if engine != "dense" and key in self._fast_path_failed:
+                session.degrade("projection-dense-fallback")
+                return self._check_cached(pmf, partition, k, kept, tolerance, "dense")
+            try:
                 return self._check_cached(pmf, partition, k, kept, tolerance, engine)
             except SESSION_FAILURES:
                 raise  # stream faults are not oracle faults
             except Exception:
                 if engine == "dense":
                     raise
-                get_metrics().counter("serve.projection_fallbacks").inc()
-                session.degrade("projection-dense-fallback")
+                self._fast_path_failed.add(key)
+                self._note_fallback(session)
                 return self._check_cached(pmf, partition, k, kept, tolerance, "dense")
 
         return oracle
+
+    def _project_key(self, pmf, partition, k, kept, engine) -> tuple:
+        return (
+            self._array_key(pmf),
+            int(k),
+            self._array_key(partition.boundaries),
+            self._array_key(kept),
+            engine,
+        )
 
     def _project_cached(self, pmf, partition, k, kept, engine) -> Projection:
         """The shared cdkl22 projection cache (LRU over exact byte keys).
@@ -578,13 +633,7 @@ class TesterService:
         histogram): repeated sessions on the same learned pmf skip the DP
         entirely.  Entries are immutable, so sharing across sessions is safe.
         """
-        key = (
-            np.asarray(pmf).tobytes(),
-            int(k),
-            partition.boundaries.tobytes(),
-            np.asarray(kept).tobytes(),
-            engine,
-        )
+        key = self._project_key(pmf, partition, k, kept, engine)
         metrics = get_metrics()
         if key in self._project_cache:
             self._project_cache.move_to_end(key)
@@ -599,23 +648,31 @@ class TesterService:
 
     def _make_project_oracle(self, session: StreamSession):
         """Per-session cdkl22 projection oracle: shared cache + the same
-        dense-engine fallback policy as the pods16 check oracle."""
+        dense-engine fallback and fast-path-failure memoization policy as
+        the pods16 check oracle."""
 
         def oracle(pmf, partition, k, kept, engine="auto"):
-            try:
-                if session.projection_fault_pending:
-                    session.projection_fault_pending = False
+            if session.projection_fault_pending:
+                session.projection_fault_pending = False
+                if engine == "dense":
                     raise ProjectionOracleError(
                         "injected projection-oracle fault (chaos schedule)"
                     )
+                self._note_fallback(session)
+                return self._project_cached(pmf, partition, k, kept, "dense")
+            key = self._project_key(pmf, partition, k, kept, engine)
+            if engine != "dense" and key in self._fast_path_failed:
+                session.degrade("projection-dense-fallback")
+                return self._project_cached(pmf, partition, k, kept, "dense")
+            try:
                 return self._project_cached(pmf, partition, k, kept, engine)
             except SESSION_FAILURES:
                 raise  # stream faults are not oracle faults
             except Exception:
                 if engine == "dense":
                     raise
-                get_metrics().counter("serve.projection_fallbacks").inc()
-                session.degrade("projection-dense-fallback")
+                self._fast_path_failed.add(key)
+                self._note_fallback(session)
                 return self._project_cached(pmf, partition, k, kept, "dense")
 
         return oracle

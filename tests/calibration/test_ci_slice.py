@@ -29,6 +29,30 @@ MAX_ERRORS_CI = int(stats.binom.ppf(1 - FLAKE_P, TRIALS_CI, 1.0 / 3.0))
 CONFIG = TesterConfig.practical()
 
 
+def test_ci_closeness_false_negative_rate():
+    from .test_closeness_error_rates import closeness_error_count
+
+    errors = closeness_error_count(
+        "identical-staircase", CONFIG, seed=700, far=False, trials=TRIALS_CI
+    )
+    assert errors <= MAX_ERRORS_CI, (
+        f"identical-staircase [closeness]: {errors}/{TRIALS_CI} completeness "
+        f"errors exceeds the binomial bound {MAX_ERRORS_CI} for per-trial rate 1/3"
+    )
+
+
+def test_ci_closeness_false_positive_rate():
+    from .test_closeness_error_rates import closeness_error_count
+
+    errors = closeness_error_count(
+        "shifted-staircase", CONFIG, seed=800, far=True, trials=TRIALS_CI
+    )
+    assert errors <= MAX_ERRORS_CI, (
+        f"shifted-staircase [closeness]: {errors}/{TRIALS_CI} soundness "
+        f"errors exceeds the binomial bound {MAX_ERRORS_CI} for per-trial rate 1/3"
+    )
+
+
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_ci_false_negative_rate(backend):
     errors = error_count(

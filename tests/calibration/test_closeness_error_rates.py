@@ -1,0 +1,95 @@
+"""Statistical calibration of the closeness tester (nightly, ``slow``).
+
+The DKN17 guarantee mirrors the one-sample tester's: identical pairs are
+accepted and certified ε-far pairs rejected, each with probability ≥ 2/3.
+Measured over many fixed-seed trials against exact binomial bounds, same
+protocol as :mod:`tests.calibration.test_error_rates` — if the per-trial
+error probability really were above 1/3, observing more than
+``binom.ppf(1 − FLAKE_P, TRIALS, 1/3)`` errors would itself have
+probability below ``FLAKE_P``.
+
+Two operating points: the main path (the b-interval reduction runs) and
+the degenerate raw-domain regime — the flattening-blind lower-bound pair
+is *only* distinguishable there, which is exactly the construction's
+point, so it is pinned to the degenerate grid.
+"""
+
+import pytest
+from scipy import stats
+
+from repro.core.config import TesterConfig
+from repro.experiments.runner import acceptance_probability
+from repro.experiments.sweeps import PairedClosenessTester
+from repro.experiments.workloads import BoundPairedWorkload
+
+pytestmark = pytest.mark.slow
+
+TRIALS = 120
+#: Main-path operating point (2b + 2 < n/2: partition/learn/sieve all run).
+N, K, EPS = 2000, 4, 0.4
+#: Degenerate operating point (paired plug-in on the raw domain).
+N_DEGEN, K_DEGEN, EPS_DEGEN = 400, 4, 0.3
+FLAKE_P = 1e-6
+
+MAX_ERRORS = int(stats.binom.ppf(1 - FLAKE_P, TRIALS, 1.0 / 3.0))
+
+CONFIG = TesterConfig.practical()
+
+
+def closeness_error_count(
+    workload_name: str,
+    config: TesterConfig,
+    seed: int,
+    *,
+    far: bool,
+    n: int = N,
+    k: int = K,
+    eps: float = EPS,
+    trials: int = TRIALS,
+) -> int:
+    estimate = acceptance_probability(
+        BoundPairedWorkload(workload_name, n, k, eps),
+        PairedClosenessTester(k, eps, config),
+        trials=trials,
+        rng=seed,
+        workers=0,  # auto: exercises the parallel path on multi-core runners
+    )
+    accepted = round(estimate.rate * estimate.trials)
+    return accepted if far else estimate.trials - accepted
+
+
+class TestMainPath:
+    @pytest.mark.parametrize("name", ["identical-staircase", "identical-random"])
+    def test_false_negative_rate(self, name):
+        errors = closeness_error_count(name, CONFIG, seed=100, far=False)
+        assert errors <= MAX_ERRORS, (
+            f"{name}: {errors}/{TRIALS} completeness errors exceeds the "
+            f"binomial bound {MAX_ERRORS} for per-trial rate 1/3"
+        )
+
+    @pytest.mark.parametrize("name", ["shifted-staircase", "offset-combs"])
+    def test_false_positive_rate(self, name):
+        errors = closeness_error_count(name, CONFIG, seed=200, far=True)
+        assert errors <= MAX_ERRORS, (
+            f"{name}: {errors}/{TRIALS} soundness errors exceeds the "
+            f"binomial bound {MAX_ERRORS} for per-trial rate 1/3"
+        )
+
+
+class TestDegenerateRegime:
+    def test_false_negative_rate(self):
+        errors = closeness_error_count(
+            "identical-staircase", CONFIG, seed=300, far=False,
+            n=N_DEGEN, k=K_DEGEN, eps=EPS_DEGEN,
+        )
+        assert errors <= MAX_ERRORS
+
+    def test_flattening_blind_pair_rejected(self):
+        """The lower-bound pair has identical interval masses on every
+        coarse partition; only the raw-domain regime can see it — and
+        must."""
+        errors = closeness_error_count(
+            "flattening-blind", CONFIG, seed=400, far=True,
+            n=N_DEGEN, k=K_DEGEN, eps=EPS_DEGEN,
+        )
+        assert errors <= MAX_ERRORS

@@ -5,6 +5,7 @@ import pytest
 
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.sampling import (
+    PairedSampleSource,
     SampleBudgetExceeded,
     SampleSource,
     as_source,
@@ -142,6 +143,138 @@ class TestBudgetCap:
         child.draw(10)  # full headroom again
         with pytest.raises(SampleBudgetExceeded):
             child.draw(1)
+
+
+class TestPairedSampleSource:
+    """Joint budget over two streams: the accounting surface of the
+    closeness tester (the paired-budget satellite of this PR)."""
+
+    def _pair(self, **kwargs):
+        return PairedSampleSource(
+            DiscreteDistribution.uniform(6),
+            DiscreteDistribution.uniform(6),
+            rng=0,
+            **kwargs,
+        )
+
+    def test_each_stream_keeps_its_own_audit_trail(self):
+        pair = self._pair()
+        pair.p.draw(30)
+        pair.q.draw_counts(12)
+        pair.q.draw_counts_poissonized(7.5)
+        assert pair.p.samples_drawn == 30
+        assert pair.q.samples_drawn == 20  # ceil(7.5) billed
+        assert pair.p.lifetime_drawn == 30
+        assert pair.q.lifetime_drawn == 20
+
+    def test_joint_total_is_the_stream_sum(self):
+        pair = self._pair()
+        pair.p.draw(30)
+        pair.q.draw(12)
+        assert pair.samples_drawn == 42
+        assert pair.samples_drawn == pair.p.samples_drawn + pair.q.samples_drawn
+        assert pair.lifetime_drawn == 42
+        assert pair.draw_calls == 2
+        assert isinstance(pair.samples_drawn, int)
+
+    def test_one_joint_cap_governs_both_streams(self):
+        pair = self._pair(max_samples=100)
+        pair.p.draw(60)
+        pair.q.draw(30)
+        with pytest.raises(SampleBudgetExceeded) as info:
+            pair.q.draw(11)  # fine per-stream, over jointly
+        assert info.value.drawn == 90
+        assert info.value.max_samples == 100
+        # The refused draw charged nothing anywhere.
+        assert pair.samples_drawn == 90
+        assert pair.q.samples_drawn == 30
+        pair.p.draw(10)  # exactly the joint cap is allowed
+
+    def test_stream_max_samples_reports_the_joint_cap(self):
+        pair = self._pair(max_samples=50)
+        assert pair.max_samples == 50
+        assert pair.p.max_samples == 50
+        assert pair.q.max_samples == 50
+        assert self._pair().max_samples is None
+
+    def test_reset_budget_resets_joint_and_streams(self):
+        pair = self._pair(max_samples=40)
+        pair.p.draw(25)
+        pair.q.draw(15)
+        pair.reset_budget()
+        assert pair.samples_drawn == 0
+        assert pair.p.samples_drawn == 0 and pair.q.samples_drawn == 0
+        assert pair.lifetime_drawn == 40  # lifetime never resets
+        pair.p.draw(40)  # full joint headroom restored
+
+    def test_charge_first_survives_faulting_base(self):
+        """Streams charge before delegating, so the joint invariant
+        ``pair.samples_drawn == p + q`` holds even when a wrapped base
+        source faults mid-draw."""
+
+        class FaultingSource(SampleSource):
+            def draw_counts(self, m):
+                self._charge(m)
+                raise RuntimeError("injected mid-draw fault")
+
+        pair = PairedSampleSource(
+            FaultingSource(DiscreteDistribution.uniform(6), rng=0),
+            SampleSource(DiscreteDistribution.uniform(6), rng=1),
+        )
+        pair.q.draw(10)
+        with pytest.raises(RuntimeError, match="injected"):
+            pair.p.draw_counts(5)
+        assert pair.samples_drawn == pair.p.samples_drawn + pair.q.samples_drawn
+
+    def test_underlying_per_source_cap_stays_enforced(self):
+        capped = SampleSource(DiscreteDistribution.uniform(6), rng=0, max_samples=10)
+        pair = PairedSampleSource(
+            capped, SampleSource(DiscreteDistribution.uniform(6), rng=1)
+        )
+        with pytest.raises(SampleBudgetExceeded):
+            pair.p.draw(11)
+        pair.q.draw(11)  # the other stream is unaffected
+
+    def test_spawn_gives_fresh_pair_with_same_cap(self):
+        pair = self._pair(max_samples=30)
+        pair.p.draw(30)
+        child = pair.spawn()
+        assert isinstance(child, PairedSampleSource)
+        assert child.max_samples == 30
+        assert child.samples_drawn == 0
+        child.q.draw(30)  # full joint headroom
+
+    def test_streams_cannot_be_spawned_or_permuted_alone(self):
+        pair = self._pair()
+        with pytest.raises(TypeError, match="spawn the\n?.*PairedSampleSource"):
+            pair.p.spawn()
+        with pytest.raises(TypeError, match="permutation"):
+            pair.q.permuted(np.arange(6))
+
+    def test_domains_must_match(self):
+        with pytest.raises(ValueError, match="share a domain"):
+            PairedSampleSource(
+                DiscreteDistribution.uniform(4),
+                DiscreteDistribution.uniform(5),
+                rng=0,
+            )
+
+    def test_existing_sources_cannot_be_reseeded(self):
+        with pytest.raises(ValueError, match="cannot reseed"):
+            PairedSampleSource(
+                SampleSource(DiscreteDistribution.uniform(4), rng=0),
+                SampleSource(DiscreteDistribution.uniform(4), rng=1),
+                rng=2,
+            )
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_samples must be positive"):
+            self._pair(max_samples=0)
+
+    def test_seeded_pair_is_reproducible(self):
+        a, b = self._pair(), self._pair()
+        assert np.array_equal(a.p.draw(20), b.p.draw(20))
+        assert np.array_equal(a.q.draw(20), b.q.draw(20))
 
 
 class TestAsSource:

@@ -413,6 +413,68 @@ class TestChi2PointTerms:
 
 
 @st.composite
+def paired_chi2_inputs(draw):
+    n = draw(st.integers(min_value=1, max_value=24))
+    repeats = draw(st.integers(min_value=1, max_value=3))
+    counts_x = draw(
+        hnp.arrays(
+            np.int64, (repeats, n), elements=st.integers(min_value=0, max_value=30)
+        )
+    )
+    counts_y = draw(
+        hnp.arrays(
+            np.int64, (repeats, n), elements=st.integers(min_value=0, max_value=30)
+        )
+    )
+    mask = draw(hnp.arrays(np.bool_, n))
+    return counts_x, counts_y, mask
+
+
+class TestChi2PairedPointTerms:
+    @given(paired_chi2_inputs())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_direct_formula(self, inputs):
+        counts_x, counts_y, mask = inputs
+        terms = pykernels.chi2_paired_point_terms(counts_x, counts_y, mask)
+        assert terms.shape == counts_x.shape
+        for r in range(counts_x.shape[0]):
+            for i in range(counts_x.shape[1]):
+                x, y = int(counts_x[r, i]), int(counts_y[r, i])
+                if not mask[i] or x + y == 0:
+                    assert terms[r, i] == 0.0
+                else:
+                    d = float(x - y)
+                    direct = (d * d - x - y) / (x + y)
+                    assert terms[r, i] == pytest.approx(direct, abs=ATOL)
+
+    @given(paired_chi2_inputs())
+    @settings(max_examples=60, deadline=None)
+    def test_one_dimensional_inputs_broadcast(self, inputs):
+        """A single repeat row must equal the stacked form's row."""
+        counts_x, counts_y, mask = inputs
+        stacked = pykernels.chi2_paired_point_terms(counts_x, counts_y, mask)
+        flat = pykernels.chi2_paired_point_terms(counts_x[0], counts_y[0], mask)
+        assert np.array_equal(flat, stacked[0])
+
+    def test_equal_counts_are_negative_or_zero(self):
+        """X = Y makes every kept nonzero cell (0 − 2x)/2x = −1: the
+        statistic is pulled below zero exactly when the streams agree."""
+        counts = np.array([[4, 0, 9]], dtype=np.int64)
+        mask = np.ones(3, dtype=bool)
+        terms = pykernels.chi2_paired_point_terms(counts, counts, mask)
+        assert np.array_equal(terms, np.array([[-1.0, 0.0, -1.0]]))
+
+    @pytest.mark.parametrize("kernel", CROSS_KERNELS)
+    @given(paired_chi2_inputs())
+    @settings(max_examples=40, deadline=None)
+    def test_dispatched_matches_python_bit_for_bit(self, kernel, inputs):
+        counts_x, counts_y, mask = inputs
+        got = dispatch("chi2.paired_point_terms", kernel)(counts_x, counts_y, mask)
+        ref = pykernels.chi2_paired_point_terms(counts_x, counts_y, mask)
+        assert np.array_equal(got, ref)
+
+
+@st.composite
 def aggregate_inputs(draw):
     n = draw(st.integers(min_value=1, max_value=30))
     repeats = draw(st.integers(min_value=1, max_value=4))

@@ -1,0 +1,187 @@
+"""Integration tests: closeness pipeline × tracer × ledger.
+
+The two-sample sibling of ``test_tester_trace.py``: one deterministic
+(paired workload, config, seed) per closeness verdict stage — trivial,
+sieve-reject, check-reject, chi2 reject (degenerate regime) and chi2
+accept — each asserting the same accounting contract, now over the *joint*
+draw total of both streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.closeness import (
+    CLOSENESS_STAGE_ORDER,
+    ClosenessPipeline,
+    closeness_budget,
+    test_closeness,
+)
+from repro.core.config import TesterConfig
+from repro.distributions import families
+from repro.experiments.workloads import make_pair
+from repro.observability.trace import RecordingTracer
+
+CFG = TesterConfig.practical()
+
+
+def _named_pair(name, n, k, eps):
+    return lambda: make_pair(name, n, k, eps, np.random.default_rng(0))
+
+
+def _promise_violating_pair():
+    return (
+        families.far_from_hk(2000, 4, 0.4, np.random.default_rng(0)),
+        families.staircase(2000, 4).to_distribution(),
+    )
+
+
+#: name -> (pair factory, k, eps, seed, expected stage, expected accept,
+#: stages that must appear in the audit dicts).
+EXIT_PATHS = {
+    "trivial-accept": (
+        lambda: (families.uniform(1), families.uniform(1)), 3, 0.5, 0,
+        "trivial", True, set()),
+    "sieve-reject": (
+        _promise_violating_pair, 4, 0.4, 0, "sieve", False,
+        {"partition", "learn", "sieve"}),
+    "check-reject": (
+        _named_pair("shifted-staircase", 2000, 4, 0.4), 4, 0.4, 0,
+        "check", False, {"partition", "learn", "sieve", "check"}),
+    "chi2-reject-degenerate": (
+        _named_pair("flattening-blind", 400, 4, 0.3), 4, 0.3, 0,
+        "chi2", False, {"chi2"}),
+    "chi2-accept": (
+        _named_pair("identical-staircase", 2000, 4, 0.4), 4, 0.4, 0,
+        "chi2", True, {"partition", "learn", "sieve", "check", "chi2"}),
+}
+
+
+def _run(case, trace=None):
+    factory, k, eps, seed, *_ = EXIT_PATHS[case]
+    p, q = factory()
+    kwargs = {} if trace is None else {"trace": trace}
+    return test_closeness(p, q, k, eps, config=CFG, rng=seed, **kwargs)
+
+
+@pytest.mark.parametrize("case", sorted(EXIT_PATHS))
+class TestEveryClosenessExitPath:
+    def test_expected_stage_and_verdict(self, case):
+        *_, stage, accept, _stages = EXIT_PATHS[case]
+        v = _run(case)
+        assert (v.stage, v.accept) == (stage, accept)
+
+    def test_all_executed_stages_recorded(self, case):
+        *_, expected_stages = EXIT_PATHS[case]
+        v = _run(case)
+        assert set(v.stage_samples) == expected_stages
+        assert set(v.stage_timings) == expected_stages
+        order = [s for s in v.stage_samples]
+        assert order == [s for s in CLOSENESS_STAGE_ORDER if s in expected_stages]
+
+    def test_integer_exact_joint_reconciliation(self, case):
+        """Satellite contract: joint total == per-stream split == stage
+        sums, all exact integers, on every exit path."""
+        v = _run(case)
+        assert isinstance(v.samples_used, int)
+        assert isinstance(v.samples_p, int) and isinstance(v.samples_q, int)
+        assert v.samples_used == v.samples_p + v.samples_q
+        assert all(
+            isinstance(s, int) and not isinstance(s, bool)
+            for s in v.stage_samples.values()
+        )
+        assert sum(v.stage_samples.values()) == v.samples_used
+
+    def test_trace_spans_mirror_stage_samples(self, case):
+        tracer = RecordingTracer()
+        v = _run(case, trace=tracer)
+        by_name = {}
+        for e in tracer.events:
+            by_name.setdefault(e.name, []).append(e)
+        for stage, samples in v.stage_samples.items():
+            (span,) = by_name[f"test_closeness/{stage}"]
+            assert span.kind == "span"
+            assert span.attrs["samples"] == samples
+
+    def test_ledger_event_reconciles(self, case):
+        tracer = RecordingTracer()
+        v = _run(case, trace=tracer)
+        (ledger,) = [e for e in tracer.events if e.name.endswith("/ledger")]
+        assert ledger.attrs["total"] == v.samples_used
+        assert ledger.attrs["stages"] == dict(v.stage_samples)
+
+    def test_tracing_never_changes_the_verdict(self, case):
+        plain = _run(case)
+        traced = _run(case, trace=RecordingTracer())
+        assert (plain.accept, plain.stage, plain.samples_used) == (
+            traced.accept, traced.stage, traced.samples_used)
+        assert plain.stage_samples == traced.stage_samples
+
+
+class TestClosenessPipelineTrace:
+    def _trace(self):
+        tracer = RecordingTracer()
+        v = _run("chi2-accept", trace=tracer)
+        return v, tracer
+
+    def test_root_span_carries_verdict_and_task(self):
+        v, tracer = self._trace()
+        root = tracer.events[-1]
+        assert root.name == "test_closeness" and root.depth == 0
+        assert root.attrs["task"] == "closeness"
+        assert root.attrs["accept"] is True
+        assert root.attrs["samples_used"] == v.samples_used
+
+    def test_ledger_cap_is_the_closeness_budget(self):
+        v, tracer = self._trace()
+        (ledger,) = [e for e in tracer.events if e.name.endswith("/ledger")]
+        assert ledger.attrs["budget_cap"] == int(
+            np.ceil(closeness_budget(2000, 4, 0.4, CFG))
+        )
+        assert v.samples_used <= ledger.attrs["budget_cap"]
+
+    def test_event_stream_is_deterministic(self):
+        from repro.observability.trace import canonical_jsonl
+
+        t1, t2 = RecordingTracer(), RecordingTracer()
+        _run("chi2-accept", trace=t1)
+        _run("chi2-accept", trace=t2)
+        assert canonical_jsonl(t1.export()) == canonical_jsonl(t2.export())
+
+
+class TestAbortReconciliation:
+    """A mid-flight abort must still land the partial joint draws in the
+    ledger — the closeness half of the exit-path accounting satellite."""
+
+    def _pipeline(self, trace):
+        p, q = make_pair("identical-staircase", 2000, 4, 0.4,
+                         np.random.default_rng(0))
+        return ClosenessPipeline(p, q, 4, 0.4, config=CFG, rng=0, trace=trace)
+
+    def test_abort_mid_sieve_emits_balanced_ledger(self):
+        tracer = RecordingTracer()
+        pipeline = self._pipeline(tracer)
+        assert pipeline.prepare() is None
+        pipeline.run_partition()
+        pipeline.run_learn()
+        drawn = pipeline.pair.samples_drawn
+        assert pipeline.abort() == drawn
+        (ledger,) = [e for e in tracer.events if e.name == "ledger"]
+        assert ledger.attrs["total"] == drawn
+        assert sum(ledger.attrs["stages"].values()) == drawn
+
+    def test_abort_during_final_test_closes_open_stage(self):
+        tracer = RecordingTracer()
+        pipeline = self._pipeline(tracer)
+        pipeline.prepare()
+        pipeline.run_partition()
+        pipeline.run_learn()
+        pipeline.run_sieve()
+        pipeline.run_check()
+        pipeline.begin_final_test()
+        pipeline.draw_final_counts()
+        drawn = pipeline.pair.samples_drawn
+        assert pipeline.abort() == drawn
+        (ledger,) = [e for e in tracer.events if e.name == "ledger"]
+        assert ledger.attrs["total"] == drawn
+        assert "chi2" in ledger.attrs["stages"]
+        assert sum(ledger.attrs["stages"].values()) == drawn

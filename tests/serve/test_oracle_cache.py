@@ -1,0 +1,236 @@
+"""Regression tests for the two serve-layer bugfix satellites.
+
+1. **Cache-key collisions** — every byte-keyed LRU (the shared projection
+   check/project caches here, ``ground_truth_bounds`` in the workloads
+   module) must key on ``(tobytes, shape, dtype.str)``, not raw bytes
+   alone: two arrays with identical buffers but different shape or dtype
+   are different operands and must never share an entry.
+2. **Fallback re-degradation** — ``serve.projection_fallbacks`` counts
+   *observed faults*, not dense re-routes: a deterministic fast-path
+   failure is memoized per cache key, later calls on the same inputs go
+   straight to the dense engine without re-failing it or re-counting, and
+   a session degrades at most once however many oracle calls it makes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TesterConfig
+from repro.distributions.discrete import DiscreteDistribution
+from repro.observability.metrics import get_metrics
+from repro.serve import StreamRequest, TesterService
+from repro.serve.session import StreamSession
+from repro.util.intervals import Partition
+
+N, K, EPS = 16, 2, 0.3
+
+
+def _service():
+    return TesterService()
+
+
+def _session(service, request_id="req-0", index=0, **overrides):
+    request = StreamRequest(
+        request_id=request_id,
+        dist=DiscreteDistribution.uniform(N),
+        k=K,
+        eps=EPS,
+        seed=7,
+        **overrides,
+    )
+    return StreamSession(
+        index,
+        request,
+        config=TesterConfig.practical(),
+        budget_cap=None,
+        clock=lambda: 0.0,
+        admitted_round=0,
+    )
+
+
+def _operands():
+    partition = Partition.singletons(N)
+    pmf = np.full(N, 1.0 / N)
+    kept = np.ones(len(partition), dtype=bool)
+    return pmf, partition, kept
+
+
+class TestArrayKeyCollisions:
+    def test_same_bytes_different_shape_differ(self):
+        flat = np.arange(4, dtype=np.float64)
+        square = flat.reshape(2, 2)
+        assert flat.tobytes() == square.tobytes()
+        assert TesterService._array_key(flat) != TesterService._array_key(square)
+
+    def test_same_bytes_different_dtype_differ(self):
+        as_int = np.zeros(2, dtype=np.int64)
+        as_float = np.zeros(2, dtype=np.float64)
+        assert as_int.tobytes() == as_float.tobytes()
+        assert TesterService._array_key(as_int) != TesterService._array_key(as_float)
+
+    def test_float32_half_of_float64_differs(self):
+        """The motivating collision: a float32 buffer bit-identical to a
+        float64 one of half the length."""
+        f64 = np.array([0.5, 0.25], dtype=np.float64)
+        f32 = np.frombuffer(f64.tobytes(), dtype=np.float32)
+        assert f64.tobytes() == f32.tobytes()
+        assert TesterService._array_key(f64) != TesterService._array_key(f32)
+
+    def test_check_and_project_keys_cover_every_array_operand(self):
+        """Reshaping any one of pmf / boundaries / kept changes the key."""
+        service = _service()
+        pmf, partition, kept = _operands()
+        base_check = service._check_key(pmf, partition, K, kept, 0.1, "auto")
+        base_project = service._project_key(pmf, partition, K, kept, "auto")
+        reshaped_pmf = pmf.reshape(2, N // 2)
+        assert service._check_key(
+            reshaped_pmf, partition, K, kept, 0.1, "auto"
+        ) != base_check
+        assert service._project_key(
+            reshaped_pmf, partition, K, kept, "auto"
+        ) != base_project
+        reshaped_kept = kept.reshape(2, N // 2)
+        assert service._check_key(
+            pmf, partition, K, reshaped_kept, 0.1, "auto"
+        ) != base_check
+        assert service._project_key(
+            pmf, partition, K, reshaped_kept, "auto"
+        ) != base_project
+
+    def test_ground_truth_bounds_key_carries_shape_and_dtype(self):
+        """The workloads-layer sibling of the same fix: its memo key must
+        disambiguate identical buffers too."""
+        from repro.experiments import workloads
+
+        pmf = np.full(8, 0.125)
+        workloads.ground_truth_bounds(pmf, K)
+        key = next(
+            k for k in workloads._GROUND_TRUTH_CACHE if k[0] == pmf.tobytes()
+        )
+        assert key == (pmf.tobytes(), pmf.shape, pmf.dtype.str, K)
+
+
+def _failing_fast_engine(monkeypatch, calls):
+    """Patch the check primitive so non-dense engines always fail."""
+    from repro.distributions.projection import exists_close_histogram as real
+
+    def flaky(pmf, partition, k, kept, tolerance, engine="auto"):
+        calls.append(engine)
+        if engine != "dense":
+            raise RuntimeError("deterministic fast-path failure")
+        return real(pmf, partition, k, kept, tolerance, engine=engine)
+
+    monkeypatch.setattr("repro.serve.service.exists_close_histogram", flaky)
+
+
+class TestFallbackDegradationAccounting:
+    def _fallbacks(self):
+        return get_metrics().counter("serve.projection_fallbacks").value
+
+    def test_deterministic_failure_counted_once_not_per_call(self, monkeypatch):
+        """The bug: every oracle call on a known-bad key used to re-fail the
+        fast engine and bump the fault counter again."""
+        calls = []
+        _failing_fast_engine(monkeypatch, calls)
+        service = _service()
+        session = _session(service)
+        oracle = service._make_check_oracle(session)
+        pmf, partition, kept = _operands()
+        before = self._fallbacks()
+
+        first = oracle(pmf, partition, K, kept, 0.1)
+        for _ in range(3):
+            assert oracle(pmf, partition, K, kept, 0.1) == first
+        # One observed fault; the three re-routes cost nothing.
+        assert self._fallbacks() - before == 1
+        # The fast engine was attempted exactly once; everything after the
+        # memoized failure went straight to dense.
+        assert calls.count("auto") == 1
+
+    def test_session_degrades_once_with_sticky_first_mode(self, monkeypatch):
+        calls = []
+        _failing_fast_engine(monkeypatch, calls)
+        service = _service()
+        session = _session(service)
+        oracle = service._make_check_oracle(session)
+        pmf, partition, kept = _operands()
+        oracle(pmf, partition, K, kept, 0.1)
+        assert session.degraded_mode == "projection-dense-fallback"
+        oracle(pmf, partition, K, kept, 0.1)
+        assert session.degraded_mode == "projection-dense-fallback"
+
+    def test_second_session_on_known_bad_key_degrades_without_new_fault(
+        self, monkeypatch
+    ):
+        calls = []
+        _failing_fast_engine(monkeypatch, calls)
+        service = _service()
+        first = _session(service, "req-0", 0)
+        pmf, partition, kept = _operands()
+        service._make_check_oracle(first)(pmf, partition, K, kept, 0.1)
+        before = self._fallbacks()
+
+        second = _session(service, "req-1", 1)
+        service._make_check_oracle(second)(pmf, partition, K, kept, 0.1)
+        # Correctness mark without a phantom fault: the second session's
+        # verdict is still dense-derived, but no new failure was observed.
+        assert second.degraded_mode == "projection-dense-fallback"
+        assert self._fallbacks() == before
+        assert calls.count("auto") == 1
+
+    def test_dense_engine_failure_propagates_unmemoized(self, monkeypatch):
+        def broken(*args, **kwargs):
+            raise RuntimeError("dense engine bug")
+
+        monkeypatch.setattr("repro.serve.service.exists_close_histogram", broken)
+        service = _service()
+        session = _session(service)
+        oracle = service._make_check_oracle(session)
+        pmf, partition, kept = _operands()
+        with pytest.raises(RuntimeError, match="dense engine bug"):
+            oracle(pmf, partition, K, kept, 0.1, engine="dense")
+        assert not service._fast_path_failed
+        assert session.degraded_mode is None
+
+    def test_injected_chaos_fault_is_counted_but_never_memoized(self):
+        """A transient injected fault must not poison the key: the next
+        call (same inputs, fault cleared) uses the fast path again."""
+        service = _service()
+        session = _session(service, projection_fault=True)
+        oracle = service._make_check_oracle(session)
+        pmf, partition, kept = _operands()
+        before = self._fallbacks()
+
+        assert session.projection_fault_pending
+        oracle(pmf, partition, K, kept, 0.1)
+        assert not session.projection_fault_pending
+        assert self._fallbacks() - before == 1
+        assert not service._fast_path_failed  # transient, not deterministic
+        oracle(pmf, partition, K, kept, 0.1)
+        assert self._fallbacks() - before == 1  # clean call: no new fault
+
+    def test_project_oracle_shares_the_failure_memo_policy(self, monkeypatch):
+        from repro.distributions.projection import coarse_flattening_projection as real
+
+        calls = []
+
+        def flaky(pmf, partition, k, kept, engine="auto"):
+            calls.append(engine)
+            if engine != "dense":
+                raise RuntimeError("deterministic fast-path failure")
+            return real(pmf, partition, k, kept, engine=engine)
+
+        monkeypatch.setattr(
+            "repro.serve.service.coarse_flattening_projection", flaky
+        )
+        service = _service()
+        session = _session(service)
+        oracle = service._make_project_oracle(session)
+        pmf, partition, kept = _operands()
+        before = self._fallbacks()
+        first = oracle(pmf, partition, K, kept)
+        second = oracle(pmf, partition, K, kept)
+        assert first.distance == second.distance
+        assert self._fallbacks() - before == 1
+        assert calls.count("auto") == 1
+        assert session.degraded_mode == "projection-dense-fallback"

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro import TesterConfig, families, test_histogram
+from repro.core.closeness import test_closeness
 from repro.baselines import (
     cdgr16_test,
     ilr12_test,
@@ -93,6 +94,101 @@ class TestExtremeParameters:
         ):
             with pytest.raises(ValueError):
                 fn()
+
+
+class TestClosenessEdgeCases:
+    """Boundary conditions of the two-sample tester (same contract: clear
+    ``ValueError`` for violations, sane verdicts for legal extremes)."""
+
+    def test_domain_of_one(self):
+        p = DiscreteDistribution(np.array([1.0]))
+        q = DiscreteDistribution(np.array([1.0]))
+        v = test_closeness(p, q, 1, 0.5, config=CFG, rng=0)
+        assert v.accept and v.stage == "trivial"
+        assert v.samples_used == 0
+
+    def test_k_of_one(self):
+        # k = 1 histograms are uniform; equal uniforms must be accepted.
+        p, q = families.uniform(300), families.uniform(300)
+        assert test_closeness(p, q, 1, 0.5, config=CFG, rng=0).accept
+
+    def test_identical_point_masses(self):
+        p = DiscreteDistribution.point_mass(200, 50)
+        q = DiscreteDistribution.point_mass(200, 50)
+        assert test_closeness(p, q, 2, 0.4, config=CFG, rng=1).accept
+
+    def test_disjoint_point_masses_rejected(self):
+        # dTV = 1: far at any eps; both are 2-histograms, so the promise
+        # holds and the tester must reject.
+        p = DiscreteDistribution.point_mass(200, 20)
+        q = DiscreteDistribution.point_mass(200, 170)
+        v = test_closeness(p, q, 2, 0.9, config=CFG, rng=2)
+        assert not v.accept
+
+    def test_mass_on_zero_probability_elsewhere(self):
+        pmf = np.zeros(500)
+        pmf[100:110] = 0.1
+        p = DiscreteDistribution(pmf)
+        q = DiscreteDistribution(pmf.copy())
+        assert test_closeness(p, q, 3, 0.4, config=CFG, rng=3).accept
+
+    def test_eps_one(self):
+        p = families.staircase(300, 2, ratio=3.0).to_distribution()
+        q = families.staircase(300, 2, ratio=3.0).to_distribution()
+        assert test_closeness(p, q, 2, 1.0, config=CFG, rng=0).accept
+
+    def test_empty_kept_mask_still_terminates(self):
+        """Force a jointly-empty kept set: the final plan clamps B to 1 and
+        the statistic over zero kept intervals accepts vacuously."""
+        from repro.core.closeness import ClosenessPipeline
+
+        p = families.staircase(2000, 4).to_distribution()
+        q = families.staircase(2000, 4).to_distribution()
+        pipeline = ClosenessPipeline(p, q, 4, 0.4, config=CFG, rng=0)
+        assert pipeline.prepare() is None
+        pipeline.run_partition()
+        pipeline.run_learn()
+        assert pipeline.run_sieve() is None
+        empty = np.zeros(len(pipeline.partition), dtype=bool)
+        object.__setattr__(pipeline.sieve_p, "kept", empty)
+        object.__setattr__(pipeline.sieve_q, "kept", empty)
+        assert pipeline.run_check() is None  # nothing kept → distance 0
+        plan = pipeline.begin_final_test()
+        assert not plan.mask.any()
+        counts_p, counts_q = pipeline.draw_final_counts()
+        from repro.core.chi2 import median_paired_interval_statistics
+
+        z = median_paired_interval_statistics(
+            counts_p, counts_q, pipeline.partition, plan.mask
+        )
+        verdict = pipeline.finish_final_test(z)
+        assert verdict.accept and verdict.chi2.statistic == 0.0
+
+    @pytest.mark.parametrize("bad_k", [0, -1])
+    def test_bad_k(self, bad_k):
+        p, q = families.uniform(50), families.uniform(50)
+        with pytest.raises(ValueError):
+            test_closeness(p, q, bad_k, 0.3)
+
+    @pytest.mark.parametrize("bad_eps", [0.0, -0.5, 1.5])
+    def test_bad_eps(self, bad_eps):
+        p, q = families.uniform(50), families.uniform(50)
+        with pytest.raises(ValueError):
+            test_closeness(p, q, 2, bad_eps)
+
+    def test_mismatched_domains_rejected(self):
+        with pytest.raises(ValueError, match="share a domain"):
+            test_closeness(families.uniform(50), families.uniform(60), 2, 0.3)
+
+    def test_closeness_pair_constructions_validate(self):
+        with pytest.raises(ValueError):
+            families.closeness_pair(600, 1, 0.3)  # k >= 2 needed to shift
+        with pytest.raises(ValueError):
+            families.closeness_pair(600, 4, 0.0)
+        with pytest.raises(ValueError):
+            families.closeness_lower_bound_pair(601, 0.2)  # odd n
+        with pytest.raises(ValueError):
+            families.closeness_lower_bound_pair(600, 0.5)  # eps < 1/2 needed
 
 
 class TestChi2Degeneracies:
